@@ -1,0 +1,46 @@
+"""Benchmark + regeneration of Figure 10 (partition-time
+over-privilege, §6.4).
+
+The timed quantity is the ACES compartmentalisation + data-region
+assignment (the partition-time work that creates the over-privilege);
+the printed series is the cumulative PT distribution per strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ACES_APPS
+from repro.baselines import build_aces
+from repro.eval import figure10
+from repro.eval.workloads import build_app
+
+
+@pytest.mark.parametrize("app_name", ACES_APPS)
+def test_figure10_partition(benchmark, app_name):
+    app = build_app(app_name)
+
+    def partition():
+        return build_aces(app.module, app.board, "ACES2")
+
+    artifacts = benchmark.pedantic(partition, rounds=1, iterations=1)
+    assert artifacts.compartments
+
+
+def test_print_figure10(benchmark):
+    data = benchmark.pedantic(figure10.compute_figure, rounds=1, iterations=1)
+    print()
+    print(figure10.render(data))
+    for entry in data:
+        # C4: OPEC solves partition-time over-privilege — PT = 0 for
+        # every operation of every application.
+        assert all(v == 0.0 for v in entry.pt_values["OPEC"])
+    # The ACES strategies exhibit PT > 0 somewhere across the suite
+    # (the region-merge over-privilege of Figure 3).
+    aces_mass = sum(
+        v
+        for entry in data
+        for strategy in ("ACES1", "ACES2", "ACES3")
+        for v in entry.pt_values[strategy]
+    )
+    assert aces_mass > 0.0

@@ -1,0 +1,48 @@
+"""Benchmark + regeneration of Figure 9 (performance overhead, §6.3).
+
+For every application, the vanilla and OPEC builds run to the paper's
+stop condition on the simulated board; the timed quantity is the OPEC
+run (the enforced execution).  The printed series is Figure 9's
+runtime / flash / SRAM overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import figure9
+from repro.eval.workloads import APP_NAMES, build_app, opec_artifacts, run_build
+from repro.pipeline import run_image
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_figure9_row(benchmark, app_name):
+    app = build_app(app_name)
+    image = opec_artifacts(app_name).image
+
+    def run_opec():
+        return run_image(image, setup=app.setup,
+                         max_instructions=app.max_instructions)
+
+    result = benchmark.pedantic(run_opec, rounds=1, iterations=1)
+    app.verify_run(result.machine, result.halt_code)
+    row = figure9.compute_row(app_name)
+    # Shape: "negligible runtime overhead" — single digits at worst.
+    assert row.runtime_pct < 8.0
+    assert 0.0 < row.flash_pct < 8.0
+    assert 0.0 <= row.sram_pct < 10.0
+
+
+def test_print_figure9(benchmark):
+    rows = benchmark.pedantic(figure9.compute_figure, rounds=1, iterations=1)
+    print()
+    print(figure9.render(rows))
+    average = rows[-1]
+    assert average.app == "Average"
+    # Paper shape: avg runtime ~0.23%, flash ~1.79%, SRAM ~5.35% — we
+    # assert the bands, not the exact testbed numbers.
+    assert average.runtime_pct < 3.0
+    assert average.flash_pct < 5.0
+    assert average.sram_pct < 8.0
+    # SRAM (shadow copies + fragments) dominates flash overhead.
+    assert average.sram_pct > average.flash_pct

@@ -1,0 +1,121 @@
+"""Microbenchmarks and ablations for the design choices DESIGN.md
+calls out.
+
+* operation-switch latency — in simulated cycles (the quantity the
+  monitor's costs model) and in host wall-clock;
+* sync volume ablation — switch cost as a function of how many bytes of
+  shared globals need synchronising;
+* relocation-table indirection — per-access cost of external-global
+  resolution;
+* MPU arbitration throughput — the hot path of every load/store;
+* interpreter throughput — instructions per second of the substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.ir as ir
+from repro import build_opec, build_vanilla, run_image
+from repro.hw import MPU, MPURegion, Machine, stm32f4_discovery
+from repro.image import build_vanilla_image
+from repro.interp import Interpreter
+from repro.ir import I32, VOID, array
+from repro.partition import OperationSpec
+
+
+def _switch_module(shared_bytes: int, calls: int = 50):
+    """main repeatedly enters a trivial op sharing `shared_bytes`."""
+    module = ir.Module("switchbench")
+    shared = module.add_global("shared", array(ir.I8, shared_bytes))
+    task, b = ir.define(module, "task", VOID, [])
+    slot = b.gep(shared, 0, 0)
+    b.store(b.trunc(b.add(b.zext(b.load(slot)), 1)), slot)
+    b.ret_void()
+    _m, b = ir.define(module, "main", I32, [])
+    first = b.gep(shared, 0, 0)
+    b.store(b.trunc(b.zext(b.load(first))), first)  # main shares it too
+    with b.for_range(0, calls):
+        b.call(task)
+    b.halt(b.zext(b.load(first)))
+    return module
+
+
+@pytest.mark.parametrize("shared_bytes", [4, 64, 1024])
+def test_switch_cost_scales_with_sync_volume(benchmark, shared_bytes):
+    """Ablation: the shadowing design pays per synchronised byte."""
+    board = stm32f4_discovery()
+    module = _switch_module(shared_bytes)
+    artifacts = build_opec(module, board, [OperationSpec("task")])
+
+    def run():
+        return run_image(artifacts.image)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    vanilla = run_image(build_vanilla(_switch_module(shared_bytes), board))
+    extra = result.cycles - vanilla.cycles
+    switches = result.hooks.switch_count
+    per_switch = extra / switches
+    benchmark.extra_info["cycles_per_switch"] = round(per_switch, 1)
+    benchmark.extra_info["switches"] = switches
+    assert per_switch > 0
+
+
+def test_mpu_arbitration_throughput(benchmark):
+    """The per-access MPU check: the hot path of the whole simulator."""
+    mpu = MPU(enabled=True, privdefena=True)
+    mpu.set_region(MPURegion(number=0, base=0x0, size=0x40000000,
+                             priv="RW", unpriv="RO"))
+    mpu.set_region(MPURegion(number=3, base=0x20000000, size=0x4000,
+                             priv="RW", unpriv="RW",
+                             subregion_disable=0xF0))
+    mpu.set_region(MPURegion(number=4, base=0x20008000, size=0x400,
+                             priv="RW", unpriv="RW"))
+
+    def arbitrate():
+        allowed = 0
+        for address in range(0x20000000, 0x20000000 + 64 * 32, 32):
+            if mpu.allows(address, 4, False, True):
+                allowed += 1
+        return allowed
+
+    assert benchmark(arbitrate) > 0
+
+
+def test_interpreter_throughput(benchmark):
+    """Substrate speed: interpreted instructions per benchmark round."""
+    module = ir.Module("throughput")
+    _m, b = ir.define(module, "main", I32, [])
+    acc = b.alloca(I32)
+    b.store(0, acc)
+    with b.for_range(0, 20_000) as load_i:
+        b.store(b.add(b.load(acc), load_i()), acc)
+    b.halt(b.load(acc))
+    board = stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+
+    def run():
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        interp = Interpreter(machine, image)
+        interp.run()
+        return interp.instructions_executed
+
+    executed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["instructions"] = executed
+    assert executed > 100_000
+
+
+def test_reloc_indirection_ablation(benchmark):
+    """External-global access cost: reloc-slot load is hoisted per
+    operation, so a tight loop pays it once, not per iteration."""
+    board = stm32f4_discovery()
+    module = _switch_module(4, calls=1)
+    artifacts = build_opec(module, board, [OperationSpec("task")])
+
+    def run():
+        return run_image(artifacts.image)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # One enter/exit pair: exactly two switches worth of SVC traffic.
+    assert result.machine.stats.svc_calls == 2

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Table 1 (security metrics, §6.2).
+
+The timed quantity is the full OPEC-Compiler pipeline (points-to, call
+graph, resource analysis, partitioning, policy, image generation) per
+application — the compile-time cost of the system.  The printed rows
+are the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_opec
+from repro.eval import table1
+from repro.eval.workloads import APP_NAMES, build_app
+
+_rows = []
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_table1_row(benchmark, app_name):
+    app = build_app(app_name)
+
+    def compile_pipeline():
+        return build_opec(app.module, app.board, app.specs)
+
+    benchmark.pedantic(compile_pipeline, rounds=1, iterations=1)
+    row = table1.compute_row(app_name)
+    _rows.append(row)
+    assert row.operations >= 6
+
+
+def test_print_table1(benchmark):
+    rows = benchmark.pedantic(table1.compute_table, rounds=1, iterations=1)
+    print()
+    print(table1.render(rows))
+    by_app = {r.app: r for r in rows}
+    # Paper shape (Table 1): operation counts are exact.
+    assert by_app["PinLock"].operations == 6
+    assert by_app["Animation"].operations == 8
+    assert by_app["FatFs-uSD"].operations == 10
+    assert by_app["LCD-uSD"].operations == 11
+    assert abs(by_app["Average"].operations - 8.86) < 0.01
+    # FatFs-uSD's shared FATFS/FIL structures push its accessible-globals
+    # percentage to the top of the field, as in the paper.
+    gvars_pct = {r.app: r.avg_gvars_pct for r in rows if r.app != "Average"}
+    assert gvars_pct["FatFs-uSD"] == max(gvars_pct.values())

@@ -1,0 +1,46 @@
+"""Benchmark + regeneration of Table 2 (OPEC vs ACES, §6.4).
+
+Every cell is measured: each of the five shared applications is built
+and run under OPEC and the three ACES strategies.  The timed quantity
+is the ACES2 (finest-grained, most switches) run per application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ACES_APPS
+from repro.eval import table2
+from repro.eval.workloads import aces_artifacts, build_app, run_build
+from repro.pipeline import run_image
+
+
+@pytest.mark.parametrize("app_name", ACES_APPS)
+def test_table2_aces2_run(benchmark, app_name):
+    app = build_app(app_name)
+    image = aces_artifacts(app_name, "ACES2").image
+
+    def run_aces():
+        return run_image(image, setup=app.setup,
+                         max_instructions=app.max_instructions)
+
+    result = benchmark.pedantic(run_aces, rounds=1, iterations=1)
+    app.verify_run(result.machine, result.halt_code)
+
+
+def test_print_table2(benchmark):
+    rows = benchmark.pedantic(table2.compute_table, rounds=1, iterations=1)
+    print()
+    print(table2.render(rows))
+    by_key = {(r.app, r.policy): r for r in rows}
+    for app_name in ACES_APPS:
+        opec = by_key[(app_name, "OPEC")]
+        # C-claims of the paper: OPEC never runs application code
+        # privileged; ACES lifts core-peripheral compartments.
+        assert opec.privileged_app_pct == 0.0
+        assert any(
+            by_key[(app_name, s)].privileged_app_pct > 0
+            for s in ("ACES1", "ACES2", "ACES3")
+        )
+        # OPEC pays more SRAM than ACES (shadowing), as in the paper.
+        assert opec.sram_pct >= by_key[(app_name, "ACES2")].sram_pct

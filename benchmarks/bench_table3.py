@@ -1,0 +1,34 @@
+"""Benchmark + regeneration of Table 3 (icall analysis, §6.5).
+
+The timed quantity is the Andersen points-to solve per application —
+the paper's "Time(s)" column measured directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_andersen
+from repro.eval import table3
+from repro.eval.workloads import APP_NAMES, build_app
+
+
+@pytest.mark.parametrize("app_name", APP_NAMES)
+def test_table3_andersen_solve(benchmark, app_name):
+    app = build_app(app_name)
+    result = benchmark(run_andersen, app.module)
+    assert result.iterations > 0
+
+
+def test_print_table3(benchmark):
+    rows = benchmark.pedantic(table3.compute_table, rounds=1, iterations=1)
+    print()
+    print(table3.render(rows))
+    by_app = {r.app: r for r in rows}
+    # Every icall in the suite is resolved (sound call graph).
+    for row in rows:
+        assert row.svf_resolved + row.type_resolved == row.icalls
+    # TCP-Echo carries indirect calls through its PCB callback, and the
+    # points-to analysis resolves them (the paper's dominant case).
+    assert by_app["TCP-Echo"].icalls >= 1
+    assert by_app["TCP-Echo"].svf_resolved >= 1

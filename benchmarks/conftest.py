@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Benchmarks default to the paper's workload profiles (100 un/locks, 11
+pictures, 5 + 45 TCP packets, …).  Export ``REPRO_PROFILE=quick`` for
+a fast smoke run.  Heavy whole-system benchmarks run exactly once
+(``pedantic``): they measure a deterministic simulator, so repetition
+adds wall-clock without adding information.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_PROFILE", "paper")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The PinLock case study (§6.1) as a runnable demo.
+
+A buggy ``HAL_UART_Receive_IT`` hands the attacker an arbitrary-write
+primitive over the serial port.  The attacker overwrites the stored
+``KEY`` hash from inside ``Lock_Task``, then unlocks the lock with a
+PIN of their choosing.
+
+* On the vanilla build the attack succeeds silently.
+* Under OPEC, ``Lock_Task``'s operation owns no copy of ``KEY``; the
+  write faults and the monitor aborts the firmware.
+
+Run:  python examples/pinlock_attack.py
+"""
+
+from repro import build_opec, build_vanilla, run_image
+from repro.apps import pinlock
+from repro.apps.hal.crypto import fnv1a_host
+from repro.apps.hal.uart import ATTACK_TRIGGER
+from repro.hw import SecurityAbort
+from repro.hw.peripherals import GPIO, RCC, UART
+
+ATTACK_PIN = b"6666"
+
+
+def attack_setup(key_address: int):
+    forged = fnv1a_host(ATTACK_PIN)
+
+    def setup(machine):
+        machine.attach_device("RCC", RCC())
+        for port in ("GPIOA", "GPIOB", "GPIOC", "GPIOD"):
+            machine.attach_device(port, GPIO())
+        uart = machine.attach_device("USART2", UART())
+        uart.feed(b"9999")                           # rejected PIN
+        uart.feed(bytes([ATTACK_TRIGGER]))           # exploit header
+        uart.feed(key_address.to_bytes(4, "little"))  # target address
+        uart.feed(forged.to_bytes(4, "little"))       # forged key hash
+        uart.feed(ATTACK_PIN)                         # attacker's PIN
+        uart.feed(b"0000")                            # lock again
+
+    return setup
+
+
+def main() -> None:
+    print("== PinLock case study (paper §6.1) ==\n")
+
+    # Vanilla: find KEY's address, fire the exploit.
+    app = pinlock.build(rounds=1, vulnerable=True)
+    image = build_vanilla(app.module, app.board)
+    key_addr = image.global_address(app.module.get_global("KEY"))
+    print(f"KEY lives at 0x{key_addr:08X} in the vanilla build")
+    result = run_image(image, setup=attack_setup(key_addr),
+                       max_instructions=app.max_instructions)
+    transcript = result.machine.device("USART2").transmitted()
+    print(f"vanilla: attacker's PIN accepted -> transcript={transcript!r}")
+    print("         the lock opened for PIN"
+          f" {ATTACK_PIN.decode()} (attack SUCCEEDED)\n")
+
+    # OPEC: same exploit against the public copy of KEY.
+    app = pinlock.build(rounds=1, vulnerable=True)
+    artifacts = build_opec(app.module, app.board, app.specs)
+    key = app.module.get_global("KEY")
+    target = artifacts.image.public_addresses[key]
+    print(f"under OPEC, KEY's public copy lives at 0x{target:08X}")
+    lock_op = artifacts.policy.operation_by_entry("Lock_Task")
+    section = artifacts.image.layout_of(lock_op).section
+    print(f"Lock_Task's data section: 0x{section.base:08X}"
+          f"..0x{section.end:08X} (no copy of KEY inside)")
+    try:
+        run_image(artifacts.image, setup=attack_setup(target),
+                  max_instructions=app.max_instructions)
+        print("opec   : attack succeeded (this should not happen)")
+    except SecurityAbort as abort:
+        print(f"opec   : attack BLOCKED -> {abort}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a tiny firmware with OPEC in ~60 lines.
+
+Builds a two-task firmware in the IR, runs it unprotected, then runs
+the same firmware partitioned into operations with the monitor
+enforcing isolation — and shows that a cross-operation write is
+blocked.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro.ir as ir
+from repro import build_opec, build_vanilla, run_image
+from repro.hw import SecurityAbort, stm32f4_discovery
+from repro.partition import OperationSpec
+
+
+def build_firmware(attack_address: int = 0) -> ir.Module:
+    module = ir.Module("quickstart")
+    counter = module.add_global("counter", ir.I32, 0)     # shared
+    secret = module.add_global("secret", ir.I32, 1234)    # sensor_task only
+
+    sensor_task, b = ir.define(module, "sensor_task", ir.VOID, [])
+    b.store(b.add(b.load(counter), b.load(secret)), counter)
+    b.ret_void()
+
+    log_task, b = ir.define(module, "log_task", ir.VOID, [])
+    b.store(b.add(b.load(counter), 1), counter)
+    if attack_address:
+        # A compromised log_task using an arbitrary-write primitive.
+        b.store(0, b.inttoptr(attack_address, ir.I32))
+    b.ret_void()
+
+    main, b = ir.define(module, "main", ir.I32, [])
+    b.call(sensor_task)
+    b.call(log_task)
+    b.halt(b.load(counter))
+    return module
+
+
+def main() -> None:
+    board = stm32f4_discovery()
+    specs = [OperationSpec("sensor_task"), OperationSpec("log_task")]
+
+    # 1. Baseline: no isolation.
+    vanilla = run_image(build_vanilla(build_firmware(), board))
+    print(f"vanilla : halt={vanilla.halt_code}  cycles={vanilla.cycles}")
+
+    # 2. OPEC: partition, link, enforce.
+    artifacts = build_opec(build_firmware(), board, specs)
+    print("\noperations:")
+    for op in artifacts.operations:
+        globals_ = sorted(g.name for g in op.resources.globals_all)
+        print(f"  {op.name:12s} functions={len(op.functions)} "
+              f"globals={globals_}")
+    protected = run_image(artifacts.image)
+    print(f"\nopec    : halt={protected.halt_code}  "
+          f"cycles={protected.cycles}  "
+          f"switches={protected.hooks.switch_count}")
+    overhead = protected.cycles / vanilla.cycles - 1
+    print(f"runtime overhead: {overhead:.2%} (a 27-cycle toy amplifies "
+          f"the fixed switch cost; see `python -m repro.eval.figure9` "
+          f"for the real workloads)")
+
+    # 3. The security payoff: log_task writing sensor_task's secret.
+    secret_addr = artifacts.image.global_address(
+        artifacts.module.get_global("secret"))
+    armed = build_opec(build_firmware(secret_addr), board, specs)
+    try:
+        run_image(armed.image)
+        print("\nATTACK SUCCEEDED (this should not happen)")
+    except SecurityAbort as abort:
+        print(f"\nattack blocked by the monitor:\n  {abort}")
+
+
+if __name__ == "__main__":
+    main()

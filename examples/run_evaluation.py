@@ -1,0 +1,13 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§6).
+
+Equivalent to ``python -m repro.eval.report_all``.  Use the quick
+profile for a fast pass:
+
+    REPRO_PROFILE=quick python examples/run_evaluation.py
+"""
+
+from repro.eval.report_all import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs are unavailable; this keeps
+``pip install -e .`` working through the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""OPEC reproduction: operation-based security isolation for bare-metal
+embedded systems (EuroSys '22), rebuilt end-to-end in Python.
+
+Layers (bottom to top):
+
+* :mod:`repro.ir` — the firmware IR (stands in for LLVM IR);
+* :mod:`repro.hw` — the simulated ARMv7-M machine: memory map, MPU,
+  privilege levels, exceptions, device models (stands in for the STM32
+  boards);
+* :mod:`repro.interp` — the IR interpreter executing images on the
+  machine;
+* :mod:`repro.analysis` / :mod:`repro.partition` / :mod:`repro.image` —
+  OPEC-Compiler: points-to, call graph, resource dependencies,
+  operation partitioning, policy and image generation;
+* :mod:`repro.runtime` — OPEC-Monitor: privileged enforcement;
+* :mod:`repro.baselines` — vanilla and ACES comparators;
+* :mod:`repro.apps` — the seven evaluation workloads;
+* :mod:`repro.eval` — metrics and every table/figure of §6.
+
+Quickstart::
+
+    from repro import build_opec, run_image
+    from repro.apps import pinlock
+    app = pinlock.build()
+    artifacts = build_opec(app.module, app.board, app.specs)
+    result = run_image(artifacts.image, setup=app.setup)
+"""
+
+from .pipeline import (
+    BuildArtifacts,
+    RunResult,
+    build_opec,
+    build_vanilla,
+    run_image,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildArtifacts", "RunResult", "build_opec", "build_vanilla",
+    "run_image", "__version__",
+]

@@ -1,0 +1,26 @@
+"""OPEC-Compiler static analyses (§4.1–§4.2).
+
+Call-graph construction with sound icall resolution (Andersen
+points-to + type-based fallback), intra-procedural slicing, and
+per-function resource-dependency analysis over globals and peripherals.
+"""
+
+from .andersen import AndersenResult, AndersenSolver, run_andersen
+from .callgraph import CallGraph, IcallSite, build_call_graph
+from .resources import FunctionResources, ResourceAnalysis
+from .slicing import ConstantAddressResolver, forward_derived
+from .typeanalysis import (
+    TypeBasedResolver,
+    address_taken_functions,
+    signature_key,
+    signatures_match,
+)
+
+__all__ = [
+    "AndersenResult", "AndersenSolver", "run_andersen",
+    "CallGraph", "IcallSite", "build_call_graph",
+    "FunctionResources", "ResourceAnalysis",
+    "ConstantAddressResolver", "forward_derived",
+    "TypeBasedResolver", "address_taken_functions",
+    "signature_key", "signatures_match",
+]

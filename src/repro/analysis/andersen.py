@@ -1,0 +1,202 @@
+"""Andersen-style inclusion-based points-to analysis.
+
+Stands in for SVF (§4.1, §4.2): a whole-module, flow-insensitive,
+context-insensitive, field-insensitive inclusion analysis with an
+on-the-fly call graph for indirect calls.  Like SVF it is *sound but
+over-approximate* — the false positives it introduces are exactly what
+drives the paper's discussion of spurious icall targets and
+execution-time over-privilege (§6.4, §7).
+
+Abstract objects:
+
+* ``("alloca", inst)`` — a stack allocation site;
+* ``("global", gvar)`` — a global variable's storage;
+* ``("func", function)`` — a function (for function pointers).
+
+The solver is the classic worklist formulation: points-to sets
+propagate along copy edges; load/store constraints add new copy edges
+as the pointer operands' sets grow.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Iterable
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    GEP,
+    ICall,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.values import GlobalVariable, Value
+
+AbstractObject = tuple  # ("alloca"|"global"|"func", payload)
+
+
+class AndersenResult:
+    """Solved points-to information plus solver statistics."""
+
+    def __init__(self, pts: dict, icall_edges: dict, solve_time: float,
+                 iterations: int):
+        self._pts = pts
+        self._icall_edges = icall_edges
+        self.solve_time = solve_time
+        self.iterations = iterations
+
+    def points_to(self, value: Value) -> frozenset[AbstractObject]:
+        return frozenset(self._pts.get(value, ()))
+
+    def pointed_globals(self, value: Value) -> set[GlobalVariable]:
+        """Global variables a pointer may target (locals filtered out,
+        matching §4.2's "filter out the local targets")."""
+        return {obj[1] for obj in self._pts.get(value, ()) if obj[0] == "global"}
+
+    def icall_targets(self, icall: ICall) -> set[Function]:
+        return set(self._icall_edges.get(icall, ()))
+
+    def resolves(self, icall: ICall) -> bool:
+        return bool(self._icall_edges.get(icall))
+
+
+class AndersenSolver:
+    """Build constraints from a module and solve to a fixed point."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.pts: dict[object, set[AbstractObject]] = defaultdict(set)
+        self.copy_edges: dict[object, set[object]] = defaultdict(set)
+        self.load_uses: dict[object, set[object]] = defaultdict(set)
+        self.store_sources: dict[object, set[object]] = defaultdict(set)
+        self.icall_sites: dict[object, set[ICall]] = defaultdict(set)
+        self.icall_edges: dict[ICall, set[Function]] = defaultdict(set)
+        self.returns: dict[Function, list[Value]] = defaultdict(list)
+        self.call_results: dict[Function, set[object]] = defaultdict(set)
+        self.worklist: list[object] = []
+        self.iterations = 0
+
+    # -- constraint generation -------------------------------------------
+
+    def build(self) -> None:
+        for func in self.module.iter_functions():
+            for inst in func.iter_instructions():
+                if isinstance(inst, Ret) and inst.value is not None:
+                    self.returns[func].append(inst.value)
+        for func in self.module.iter_functions():
+            for inst in func.iter_instructions():
+                self._constraints_for(inst)
+
+    def _seed(self, value: Value) -> object:
+        """Register base points-to facts for constant-like operands."""
+        if isinstance(value, GlobalVariable):
+            self._add_pts(value, ("global", value))
+        elif isinstance(value, Function):
+            self._add_pts(value, ("func", value))
+        return value
+
+    def _constraints_for(self, inst) -> None:
+        for op in inst.operands:
+            self._seed(op)
+
+        if isinstance(inst, Alloca):
+            self._add_pts(inst, ("alloca", inst))
+        elif isinstance(inst, (GEP, Cast)):
+            # Field-insensitive: derived pointers alias their base.
+            self._copy(inst.operands[0], inst)
+        elif isinstance(inst, Select):
+            self._copy(inst.operands[1], inst)
+            self._copy(inst.operands[2], inst)
+        elif isinstance(inst, Load):
+            self.load_uses[inst.pointer].add(inst)
+            self._reprocess(inst.pointer)
+        elif isinstance(inst, Store):
+            self.store_sources[inst.pointer].add(inst.value)
+            self._reprocess(inst.pointer)
+        elif isinstance(inst, Call):
+            self._wire_call(inst.callee, inst.operands, inst)
+        elif isinstance(inst, ICall):
+            self.icall_sites[inst.target].add(inst)
+            self._reprocess(inst.target)
+
+    def _wire_call(self, callee: Function, args: Iterable[Value], result_node) -> None:
+        for param, arg in zip(callee.params, args):
+            self._copy(arg, param)
+        for ret_val in self.returns.get(callee, ()):
+            self._copy(ret_val, result_node)
+
+    # -- solver primitives ---------------------------------------------------
+
+    def _add_pts(self, node: object, obj: AbstractObject) -> bool:
+        if obj not in self.pts[node]:
+            self.pts[node].add(obj)
+            self.worklist.append(node)
+            return True
+        return False
+
+    def _copy(self, src: object, dst: object) -> None:
+        if dst not in self.copy_edges[src]:
+            self.copy_edges[src].add(dst)
+            if self.pts.get(src):
+                self.worklist.append(src)
+
+    def _reprocess(self, node: object) -> None:
+        if self.pts.get(node):
+            self.worklist.append(node)
+
+    # -- fixed point -----------------------------------------------------------
+
+    def solve(self) -> AndersenResult:
+        start = time.perf_counter()
+        self.build()
+        while self.worklist:
+            node = self.worklist.pop()
+            self.iterations += 1
+            node_pts = self.pts.get(node, set())
+            if not node_pts:
+                continue
+            # Copy edges: pts flows to targets.
+            for dst in list(self.copy_edges.get(node, ())):
+                before = len(self.pts[dst])
+                self.pts[dst] |= node_pts
+                if len(self.pts[dst]) != before:
+                    self.worklist.append(dst)
+            # Load constraints: *node flows into each load result.
+            for load_inst in list(self.load_uses.get(node, ())):
+                for obj in list(node_pts):
+                    self._copy(obj, load_inst)
+            # Store constraints: stored values flow into *node.
+            for src in list(self.store_sources.get(node, ())):
+                for obj in list(node_pts):
+                    self._copy(src, obj)
+            # Indirect calls: new function targets wire args/returns.
+            for icall in list(self.icall_sites.get(node, ())):
+                for obj in list(node_pts):
+                    if obj[0] != "func":
+                        continue
+                    func = obj[1]
+                    if func not in self.icall_edges[icall]:
+                        if not _signature_plausible(icall, func):
+                            continue
+                        self.icall_edges[icall].add(func)
+                        self._wire_call(func, icall.args, icall)
+        elapsed = time.perf_counter() - start
+        return AndersenResult(dict(self.pts), dict(self.icall_edges),
+                              elapsed, self.iterations)
+
+
+def _signature_plausible(icall: ICall, func: Function) -> bool:
+    """Reject pointer targets whose arity cannot match the call site."""
+    return len(func.ftype.params) == len(icall.args) or func.ftype.variadic
+
+
+def run_andersen(module: Module) -> AndersenResult:
+    """Convenience wrapper: build + solve."""
+    return AndersenSolver(module).solve()

@@ -1,0 +1,129 @@
+"""Per-function resource-dependency analysis (§4.2).
+
+For every function the compiler determines:
+
+* **direct globals** — globals reached by a forward slice from the
+  global's address to a load/store in the same function (LLVM def-use);
+* **indirect globals** — globals the Andersen analysis says a
+  dereferenced pointer may target (local targets filtered out);
+* **peripherals** — general and core peripherals reached by backward-
+  slicing load/store addresses to constants and matching them against
+  the board's datasheet map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hw.board import Board, Peripheral
+from ..ir.function import Function
+from ..ir.instructions import Load, Store
+from ..ir.module import Module
+from ..ir.values import GlobalVariable
+from .andersen import AndersenResult, run_andersen
+from .slicing import ConstantAddressResolver, forward_derived
+
+
+@dataclass
+class FunctionResources:
+    """Resources one function may touch."""
+
+    globals_direct: set[GlobalVariable] = field(default_factory=set)
+    globals_indirect: set[GlobalVariable] = field(default_factory=set)
+    peripherals: set[Peripheral] = field(default_factory=set)
+    core_peripherals: set[Peripheral] = field(default_factory=set)
+
+    @property
+    def globals_all(self) -> set[GlobalVariable]:
+        return self.globals_direct | self.globals_indirect
+
+    def merge(self, other: "FunctionResources") -> None:
+        self.globals_direct |= other.globals_direct
+        self.globals_indirect |= other.globals_indirect
+        self.peripherals |= other.peripherals
+        self.core_peripherals |= other.core_peripherals
+
+
+class ResourceAnalysis:
+    """Computes and caches :class:`FunctionResources` for a module."""
+
+    def __init__(self, module: Module, board: Board,
+                 andersen: Optional[AndersenResult] = None):
+        self.module = module
+        self.board = board
+        self.andersen = andersen if andersen is not None else run_andersen(module)
+        self.resolver = ConstantAddressResolver(module)
+        self._cache: dict[Function, FunctionResources] = {}
+
+    def function_resources(self, func: Function) -> FunctionResources:
+        if func not in self._cache:
+            self._cache[func] = self._analyze(func)
+        return self._cache[func]
+
+    def _analyze(self, func: Function) -> FunctionResources:
+        res = FunctionResources()
+        if func.is_declaration:
+            return res
+
+        # Direct global accesses: forward slice from each global used in
+        # this function to the loads/stores through derived pointers.
+        used_globals = {
+            op for inst in func.iter_instructions() for op in inst.operands
+            if isinstance(op, GlobalVariable)
+        }
+        if used_globals:
+            derived = forward_derived(func, used_globals)
+            roots_of: dict = {}
+            for inst in func.iter_instructions():
+                pointer = None
+                if isinstance(inst, Load):
+                    pointer = inst.pointer
+                elif isinstance(inst, Store):
+                    pointer = inst.pointer
+                if pointer is None:
+                    continue
+                if isinstance(pointer, GlobalVariable):
+                    res.globals_direct.add(pointer)
+                elif pointer in derived:
+                    res.globals_direct |= self._trace_roots(pointer, used_globals)
+
+        # Indirect accesses + peripheral identification per load/store.
+        for inst in func.iter_instructions():
+            pointer = None
+            if isinstance(inst, Load):
+                pointer = inst.pointer
+            elif isinstance(inst, Store):
+                pointer = inst.pointer
+            if pointer is None:
+                continue
+            if not isinstance(pointer, GlobalVariable):
+                res.globals_indirect |= self.andersen.pointed_globals(pointer)
+            for address in self.resolver.resolve(pointer):
+                peripheral = self.board.peripheral_at(address)
+                if peripheral is None:
+                    continue
+                if peripheral.core:
+                    res.core_peripherals.add(peripheral)
+                else:
+                    res.peripherals.add(peripheral)
+        return res
+
+    @staticmethod
+    def _trace_roots(value, roots: set[GlobalVariable]) -> set[GlobalVariable]:
+        """Which root globals a derived pointer chain started from."""
+        from ..ir.instructions import BinOp, Cast, GEP, Select
+
+        found: set[GlobalVariable] = set()
+        stack = [value]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, GlobalVariable):
+                found.add(node)
+            elif isinstance(node, (GEP, Cast, Select, BinOp)):
+                stack.extend(node.operands)
+        return found & roots

@@ -1,0 +1,137 @@
+"""Intra-procedural slicing utilities (§4.2).
+
+Two primitives back the resource-dependency analysis:
+
+* :func:`forward_derived` — forward slice: the set of values derived
+  from a root value through pointer-preserving operations (gep, casts,
+  selects).  Used to find loads/stores that touch a global directly.
+* :func:`resolve_constant_addresses` — backward slice: walk a pointer
+  operand back to constant machine addresses.  Used to identify
+  memory-mapped peripheral accesses; follows constants through
+  ``inttoptr``/``gep``/``add`` chains, through formal parameters to the
+  constants passed at direct call sites (bounded depth), and through
+  loads of constant-initialised scalar globals (the "HAL handle holds
+  the peripheral base" pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..ir.function import Function
+from ..ir.instructions import BinOp, Call, Cast, GEP, Load, Select
+from ..ir.module import Module
+from ..ir.values import Constant, ConstantPointer, GlobalVariable, Parameter, Value
+
+_MAX_PARAM_DEPTH = 3
+
+
+def forward_derived(func: Function, roots: Iterable[Value]) -> set[Value]:
+    """All values in ``func`` transitively derived from ``roots``."""
+    derived: set[Value] = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for inst in func.iter_instructions():
+            if inst in derived:
+                continue
+            if isinstance(inst, (GEP, Cast)):
+                if inst.operands[0] in derived:
+                    derived.add(inst)
+                    changed = True
+            elif isinstance(inst, Select):
+                if inst.operands[1] in derived or inst.operands[2] in derived:
+                    derived.add(inst)
+                    changed = True
+            elif isinstance(inst, BinOp):
+                if any(op in derived for op in inst.operands):
+                    derived.add(inst)
+                    changed = True
+    return derived
+
+
+class ConstantAddressResolver:
+    """Backward-slices pointer operands to constant addresses."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._call_sites: dict[Function, list[Call]] = {}
+        self._param_owner: dict[Parameter, Function] = {}
+        for func in module.iter_functions():
+            for param in func.params:
+                self._param_owner[param] = func
+            for inst in func.iter_instructions():
+                if isinstance(inst, Call):
+                    self._call_sites.setdefault(inst.callee, []).append(inst)
+
+    def resolve(self, value: Value, depth: int = 0) -> set[int]:
+        """Constant addresses ``value`` may evaluate to, or empty."""
+        if isinstance(value, ConstantPointer):
+            return {value.address}
+        if isinstance(value, Constant):
+            return {value.value}
+        if isinstance(value, Cast):
+            return self.resolve(value.operands[0], depth)
+        if isinstance(value, GEP):
+            bases = self.resolve(value.pointer, depth)
+            if not bases:
+                return set()
+            offset = _constant_gep_offset(value)
+            if offset is None:
+                return set()
+            return {base + offset for base in bases}
+        if isinstance(value, BinOp) and value.op == "add":
+            lhs = self.resolve(value.operands[0], depth)
+            rhs = self.resolve(value.operands[1], depth)
+            if lhs and rhs:
+                return {a + b for a in lhs for b in rhs}
+            return set()
+        if isinstance(value, Load):
+            pointer = value.pointer
+            if isinstance(pointer, GlobalVariable) and pointer.is_const:
+                init = pointer.initializer
+                if isinstance(init, int):
+                    return {init}
+            return set()
+        if isinstance(value, Parameter) and depth < _MAX_PARAM_DEPTH:
+            func = self._param_owner.get(value)
+            if func is None:
+                return set()
+            addresses: set[int] = set()
+            for call in self._call_sites.get(func, ()):  # direct calls only
+                if value.index < len(call.operands):
+                    resolved = self.resolve(call.operands[value.index], depth + 1)
+                    if not resolved:
+                        return set()  # one unresolvable caller → unknown
+                    addresses |= resolved
+            return addresses
+        return set()
+
+
+def _constant_gep_offset(gep: GEP) -> Optional[int]:
+    """Byte offset of a GEP with all-constant indices, else ``None``."""
+    from ..ir.types import ArrayType, StructType
+
+    pointee = gep.pointer.type.pointee
+    indices = gep.indices
+    first = indices[0]
+    if not isinstance(first, Constant):
+        return None
+    offset = first.value * pointee.size
+    current = pointee
+    for index in indices[1:]:
+        if isinstance(current, ArrayType):
+            if not isinstance(index, Constant):
+                return None
+            offset += index.value * current.stride
+            current = current.element
+        elif isinstance(current, StructType):
+            if not isinstance(index, Constant):
+                return None
+            offset += current.offset_of(index.value)
+            current = current.field_type(index.value)
+        else:
+            return None
+    return offset
+
+

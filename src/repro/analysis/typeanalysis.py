@@ -1,0 +1,73 @@
+"""Type-based indirect-call resolution (the SVF fallback of §4.1).
+
+When the points-to analysis cannot resolve an icall, OPEC falls back to
+signature matching: two function types are considered identical when
+the number of arguments, the types of struct-typed arguments, the types
+of pointer-typed arguments, and the return type are all the same
+(integer argument widths are not discriminated).  Candidate targets are
+the address-taken functions of the module; if none matches, every
+defined function with a matching signature is considered, keeping the
+call graph sound.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import ICall
+from ..ir.module import Module
+from ..ir.types import FunctionType, IntType, PointerType, StructType, Type
+
+
+def _param_key(param: Type):
+    """The part of a parameter type the paper's rule discriminates on."""
+    if isinstance(param, PointerType):
+        return ("ptr", str(param))
+    if isinstance(param, StructType):
+        return ("struct", param.name)
+    if isinstance(param, IntType):
+        return ("int",)
+    return ("other", str(param))
+
+
+def signature_key(ftype: FunctionType):
+    """Hashable signature identity per the paper's matching rule."""
+    return (
+        str(ftype.ret),
+        len(ftype.params),
+        tuple(_param_key(p) for p in ftype.params),
+    )
+
+
+def signatures_match(a: FunctionType, b: FunctionType) -> bool:
+    return signature_key(a) == signature_key(b)
+
+
+def address_taken_functions(module: Module) -> set[Function]:
+    """Functions whose address escapes as a value (icall candidates)."""
+    taken: set[Function] = set()
+    for func in module.iter_functions():
+        for inst in func.iter_instructions():
+            for op in inst.operands:
+                if isinstance(op, Function):
+                    taken.add(op)
+    return taken
+
+
+class TypeBasedResolver:
+    """Resolve icalls by signature against the module's functions."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._taken = address_taken_functions(module)
+        self._by_key: dict[tuple, list[Function]] = {}
+        self._taken_by_key: dict[tuple, list[Function]] = {}
+        for func in module.defined_functions():
+            key = signature_key(func.ftype)
+            self._by_key.setdefault(key, []).append(func)
+            if func in self._taken:
+                self._taken_by_key.setdefault(key, []).append(func)
+
+    def targets(self, icall: ICall) -> set[Function]:
+        key = signature_key(icall.callee_type)
+        candidates = self._taken_by_key.get(key) or self._by_key.get(key) or []
+        return set(candidates)

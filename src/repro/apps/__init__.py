@@ -1,0 +1,32 @@
+"""The paper's evaluation workloads (§6), authored in the firmware IR.
+
+Six representative IoT applications plus CoreMark, each exposing a
+:class:`~repro.apps.base.Application` via ``build()``:
+
+* :mod:`repro.apps.pinlock` — smart lock over the UART (case study);
+* :mod:`repro.apps.animation` — SD-card slideshow with DMA2D;
+* :mod:`repro.apps.fatfs_usd` — FAT filesystem create/write/read/verify;
+* :mod:`repro.apps.lcd_usd` — picture viewer with fade effects;
+* :mod:`repro.apps.tcp_echo` — lwIP-style TCP echo server;
+* :mod:`repro.apps.camera` — button-triggered capture to USB;
+* :mod:`repro.apps.coremark` — CoreMark-style CPU benchmark.
+"""
+
+from . import animation, camera, coremark, fatfs_usd, lcd_usd, pinlock, tcp_echo
+from .base import Application
+
+ALL_APPS = {
+    "PinLock": pinlock.build,
+    "Animation": animation.build,
+    "FatFs-uSD": fatfs_usd.build,
+    "LCD-uSD": lcd_usd.build,
+    "TCP-Echo": tcp_echo.build,
+    "Camera": camera.build,
+    "CoreMark": coremark.build,
+}
+
+# The five applications the ACES comparison uses (§6.4).
+ACES_APPS = ("PinLock", "Animation", "FatFs-uSD", "LCD-uSD", "TCP-Echo")
+
+__all__ = ["Application", "ALL_APPS", "ACES_APPS", "animation", "camera",
+           "coremark", "fatfs_usd", "lcd_usd", "pinlock", "tcp_echo"]

@@ -1,0 +1,176 @@
+"""Animation: SD-card picture slideshow with DMA2D blitting (§6).
+
+"Reads pictures from an SD card and displays those pictures on an LCD
+screen to demonstrate a moving butterfly" — 11 frames, each loaded
+through the FAT filesystem, blitted to the framebuffer by the DMA2D
+engine, and presented by the LTDC.  Eight operations as in Table 1.
+"""
+
+from __future__ import annotations
+
+from ..hw.board import stm32479i_eval
+from ..hw.machine import Machine
+from ..hw.peripherals import DMA2D, GPIO, LTDC, RCC, SDCard
+from ..ir import I8, I32, Module, VOID, array, define
+from ..partition.operations import OperationSpec
+from .base import Application
+from .hal.display import add_dma2d_hal, add_lcd_hal
+from .hal.libc import add_libc
+from .hal.storage import add_sd_hal
+from .hal.system import add_system_hal
+from .lib.fatfs import add_fatfs, make_disk_image
+
+PICTURE_COUNT = 11
+PICTURE_BYTES = 1024  # one butterfly frame (words of RGB565 pairs)
+
+
+def picture_bytes(index: int) -> bytes:
+    """Host-side synthetic butterfly frame: a recognisable ramp."""
+    return bytes((index * 37 + i) & 0xFF for i in range(PICTURE_BYTES))
+
+
+def picture_name(index: int) -> bytes:
+    return f"PIC{index:02d}   ".encode()[:8]
+
+
+def build(pictures: int = PICTURE_COUNT) -> Application:
+    board = stm32479i_eval()
+    module = Module("animation")
+
+    libc = add_libc(module)
+    system = add_system_hal(module, board)
+    sd = add_sd_hal(module, board)
+    lcd = add_lcd_hal(module, board)
+    dma2d = add_dma2d_hal(module, board)
+    fatfs = add_fatfs(module, sd, libc)
+
+    sd_fatfs = module.add_global("SDFatFs", fatfs.fatfs_t, source_file="main.c")
+    pic_file = module.add_global("PicFile", fatfs.fil_t, source_file="main.c")
+    pic_buffer = module.add_global("pic_buffer", array(I8, PICTURE_BYTES),
+                                   source_file="main.c")
+    framebuffer = module.add_global("framebuffer",
+                                    array(I8, PICTURE_BYTES),
+                                    source_file="main.c")
+    pic_names = module.add_global(
+        "pic_names", array(I8, 8 * PICTURE_COUNT),
+        list(b"".join(picture_name(i) for i in range(PICTURE_COUNT))),
+        is_const=True, source_file="main.c",
+    )
+    frames_done = module.add_global("frames_done", I32, 0,
+                                    source_file="main.c")
+    sd_ready = module.add_global("sd_ready", I32, 0, source_file="sd_task.c")
+    lcd_ready = module.add_global("lcd_ready", I32, 0,
+                                  source_file="lcd_task.c")
+    mount_ok = module.add_global("mount_ok", I32, 0, source_file="fs_task.c")
+
+    # -- the seven task entries -----------------------------------------
+    sd_init_task, b = define(module, "Sd_Init_Task", VOID, [],
+                             source_file="sd_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 11)
+    b.call(sd.init)
+    b.store(1, sd_ready)
+    b.ret_void()
+
+    lcd_init_task, b = define(module, "Lcd_Init_Task", VOID, [],
+                              source_file="lcd_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 26)
+    fb_address = b.ptrtoint(b.gep(framebuffer, 0, 0))
+    b.call(lcd.init, fb_address)
+    b.store(1, lcd_ready)
+    b.ret_void()
+
+    mount_task, b = define(module, "Mount_Task", VOID, [],
+                           source_file="fs_task.c")
+    status = b.call(fatfs.f_mount, sd_fatfs)
+    b.store(b.select(b.icmp("eq", status, 0), 1, 0), mount_ok)
+    b.ret_void()
+
+    load_task, b = define(module, "Load_Task", VOID, [I32],
+                          source_file="load.c")
+    (index,) = load_task.params
+    name = b.gep(pic_names, 0, b.mul(index, 8))
+    b.call(fatfs.f_open, pic_file, sd_fatfs, name, 0)
+    b.call(fatfs.f_read, pic_file, sd_fatfs, b.gep(pic_buffer, 0, 0),
+           PICTURE_BYTES)
+    b.call(fatfs.f_close, pic_file, sd_fatfs)
+    b.ret_void()
+
+    blit_task, b = define(module, "Blit_Task", VOID, [],
+                          source_file="blit.c")
+    src = b.ptrtoint(b.gep(pic_buffer, 0, 0))
+    dst = b.ptrtoint(b.gep(framebuffer, 0, 0))
+    b.call(dma2d.copy, src, dst, PICTURE_BYTES)
+    b.ret_void()
+
+    show_task, b = define(module, "Show_Task", VOID, [],
+                          source_file="show.c")
+    b.call(lcd.reload)
+    b.call(system.delay_loop, 64)  # inter-frame pause
+    b.store(b.add(b.load(frames_done), 1), frames_done)
+    b.ret_void()
+
+    cleanup_task, b = define(module, "Cleanup_Task", VOID, [],
+                             source_file="show.c")
+    b.call(libc.memset, b.gep(pic_buffer, 0, 0), 0, PICTURE_BYTES)
+    b.ret_void()
+
+    main, b = define(module, "main", I32, [], source_file="main.c")
+    b.call(system.system_clock_config)
+    b.call(system.rcc_enable_gpio, 0xF)
+    b.call(sd_init_task)
+    b.call(lcd_init_task)
+    b.call(mount_task)
+    # Status checks before entering the slideshow (real demo shape;
+    # never fail in the model).
+    ready = b.and_(b.load(sd_ready),
+                   b.and_(b.load(lcd_ready), b.load(mount_ok)))
+    with b.if_then(b.icmp("eq", ready, 0)):
+        b.halt(0xDEAD)
+    with b.for_range(0, pictures) as load_i:
+        i = load_i()
+        b.call(load_task, i)
+        b.call(blit_task)
+        b.call(show_task)
+    b.call(cleanup_task)
+    b.halt(b.load(frames_done))
+
+    specs = [
+        OperationSpec("Sd_Init_Task"),
+        OperationSpec("Lcd_Init_Task"),
+        OperationSpec("Mount_Task"),
+        OperationSpec("Load_Task"),
+        OperationSpec("Blit_Task"),
+        OperationSpec("Show_Task"),
+        OperationSpec("Cleanup_Task"),
+    ]
+
+    def setup(machine: Machine) -> None:
+        machine.attach_device("RCC", RCC())
+        for port in ("GPIOA", "GPIOB", "GPIOC", "GPIOD"):
+            machine.attach_device(port, GPIO())
+        files = {
+            picture_name(i): picture_bytes(i) for i in range(pictures)
+        }
+        machine.attach_device("SDIO", SDCard(image=make_disk_image(files)))
+        machine.attach_device("LTDC", LTDC())
+        machine.attach_device("DMA2D", DMA2D())
+
+    def check(machine: Machine, halt_code: int) -> None:
+        assert halt_code == pictures, f"showed {halt_code}/{pictures}"
+        ltdc = machine.device("LTDC")
+        assert ltdc.frames_shown == pictures
+        # The framebuffer must hold the final picture (DMA2D landed it).
+        final = ltdc.snapshot(PICTURE_BYTES)
+        assert final == picture_bytes(pictures - 1)
+        assert machine.device("DMA2D").transfers == pictures
+
+    return Application(
+        name="Animation",
+        module=module,
+        board=board,
+        specs=specs,
+        setup=setup,
+        check=check,
+        max_instructions=200_000_000,
+        description="11-frame butterfly slideshow from the SD card.",
+    )

@@ -1,0 +1,37 @@
+"""Application bundle: what one evaluation workload provides.
+
+Every app in :mod:`repro.apps` builds a fresh IR module (firmware
+source), declares its operation entry list + stack information (the
+developer inputs of Figure 5), and knows how to wire its device models
+and host-side stimulus onto a machine and how to check the run's
+functional output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hw.board import Board
+from ..hw.machine import Machine
+from ..ir.module import Module
+from ..partition.operations import OperationSpec
+
+
+@dataclass
+class Application:
+    """One runnable evaluation workload."""
+
+    name: str
+    module: Module
+    board: Board
+    specs: list[OperationSpec]
+    setup: Callable[[Machine], None]
+    check: Optional[Callable[[Machine, int], None]] = None
+    max_instructions: int = 100_000_000
+    description: str = ""
+
+    def verify_run(self, machine: Machine, halt_code: int) -> None:
+        """Assert the workload did its job (device-level evidence)."""
+        if self.check is not None:
+            self.check(machine, halt_code)

@@ -1,0 +1,182 @@
+"""Camera: button-triggered photo capture saved to a USB disk (§6).
+
+"Uses the camera on the STM32479I-EVAL board to take a photo after the
+user presses the button.  The picture is saved to a USB flash disk."
+
+Nine operations as in Table 1: sensor init, DCMI capture, a simple
+image-processing pass, USB save, LED feedback, button polling, plus
+the init tasks and the default ``main``.
+"""
+
+from __future__ import annotations
+
+from ..hw.board import stm32479i_eval
+from ..hw.machine import Machine
+from ..hw.peripherals import DCMI, GPIO, RCC, RegisterFile, USBMassStorage
+from ..ir import I8, I32, Module, VOID, array, define, ptr
+from ..partition.operations import OperationSpec
+from .base import Application
+from .hal.camera import add_camera_hal
+from .hal.libc import add_libc
+from .hal.storage import add_usb_hal
+from .hal.system import add_system_hal
+
+FRAME_BYTES = 2048  # one QQVGA-ish synthetic frame
+FRAME_WORDS = FRAME_BYTES // 4
+BUTTON_PIN = 0  # PA0: the user button
+LED_PIN = 6
+
+
+def frame_bytes() -> bytes:
+    """Host-side synthetic sensor frame."""
+    return bytes((3 * i + 1) & 0xFF for i in range(FRAME_BYTES))
+
+
+def processed_frame() -> bytes:
+    """What the firmware's Process_Task should produce (bytes + 1)."""
+    return bytes((b + 1) & 0xFF for b in frame_bytes())
+
+
+def build() -> Application:
+    board = stm32479i_eval()
+    module = Module("camera")
+
+    libc = add_libc(module)
+    system = add_system_hal(module, board)
+    cam = add_camera_hal(module, board)
+    usb = add_usb_hal(module, board)
+    p32 = ptr(I32)
+
+    frame_buffer = module.add_global("frame_buffer", array(I32, FRAME_WORDS),
+                                     source_file="main.c")
+    photo_saved = module.add_global("photo_saved", I32, 0,
+                                    source_file="main.c",
+                                    sanitize_range=(0, 1))
+    captures = module.add_global("captures", I32, 0, source_file="main.c")
+    # The image-processing pass is registered as a callback, like the
+    # HAL's frame-event callbacks (one of Camera's icalls in Table 3).
+    frame_filter = module.add_global("frame_filter", ptr(I8),
+                                     source_file="process.c")
+
+    brighten, b = define(module, "brighten_pixels", VOID, [ptr(I8), I32],
+                         source_file="process.c")
+    pixels, count = brighten.params
+    with b.for_range(0, count) as load_i:
+        i = load_i()
+        slot = b.gep(pixels, i)
+        b.store(b.trunc(b.add(b.zext(b.load(slot)), 1)), slot)
+    b.ret_void()
+
+    sensor_init_task, b = define(module, "Sensor_Init_Task", VOID, [],
+                                 source_file="sensor.c")
+    b.call(system.rcc_enable_apb1, 1 << 21)  # I2C1
+    b.call(cam.sensor_init)
+    b.ret_void()
+
+    dcmi_init_task, b = define(module, "Dcmi_Init_Task", VOID, [],
+                               source_file="dcmi_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 0)
+    b.store(b.inttoptr(b.ptrtoint(brighten), I8), frame_filter)
+    b.ret_void()
+
+    usb_init_task, b = define(module, "Usb_Init_Task", VOID, [],
+                              source_file="usb_task.c")
+    b.call(usb.init)
+    b.ret_void()
+
+    button_task, b = define(module, "Button_Task", VOID, [],
+                            source_file="button.c")
+    with b.while_loop(
+        lambda: b.icmp("eq", b.call(system.gpio["GPIOA"].read, BUTTON_PIN), 0)
+    ):
+        pass
+    b.ret_void()
+
+    capture_task, b = define(module, "Capture_Task", VOID, [],
+                             source_file="capture.c")
+    b.call(cam.snapshot, b.gep(frame_buffer, 0, 0), FRAME_WORDS)
+    b.store(b.add(b.load(captures), 1), captures)
+    b.ret_void()
+
+    # Brighten every byte by one — a stand-in for the demosaic pass,
+    # dispatched through the registered frame callback.
+    process_task, b = define(module, "Process_Task", VOID, [],
+                             source_file="process.c")
+    from ..ir import FunctionType, VOID as VOID_T
+
+    bytes_view = b.bitcast(b.gep(frame_buffer, 0, 0), ptr(I8))
+    handler = b.load(frame_filter)
+    b.icall(b.ptrtoint(handler), FunctionType(VOID_T, [ptr(I8), I32]),
+            bytes_view, FRAME_BYTES)
+    b.ret_void()
+
+    save_task, b = define(module, "Save_Task", VOID, [],
+                          source_file="save.c")
+    with b.for_range(0, FRAME_WORDS // 128) as load_blk:
+        blk = load_blk()
+        chunk = b.gep(frame_buffer, 0, b.mul(blk, 128))
+        b.call(usb.write_block, blk, chunk)
+    b.store(1, photo_saved)
+    b.ret_void()
+
+    led_task, b = define(module, "Led_Task", VOID, [],
+                         source_file="led.c")
+    b.call(system.gpio["GPIOD"].write, LED_PIN, b.load(photo_saved))
+    b.ret_void()
+
+    main, b = define(module, "main", I32, [], source_file="main.c")
+    b.call(system.system_clock_config)
+    b.call(system.rcc_enable_gpio, 0xF)
+    b.call(system.gpio["GPIOA"].init, BUTTON_PIN, 0)  # input
+    b.call(system.gpio["GPIOD"].init, LED_PIN, 1)     # output
+    b.call(sensor_init_task)
+    b.call(dcmi_init_task)
+    b.call(usb_init_task)
+    b.call(button_task)
+    b.call(capture_task)
+    b.call(process_task)
+    b.call(save_task)
+    b.call(led_task)
+    b.halt(b.load(photo_saved))
+
+    specs = [
+        OperationSpec("Sensor_Init_Task"),
+        OperationSpec("Dcmi_Init_Task"),
+        OperationSpec("Usb_Init_Task"),
+        OperationSpec("Button_Task"),
+        OperationSpec("Capture_Task"),
+        OperationSpec("Process_Task"),
+        OperationSpec("Save_Task"),
+        OperationSpec("Led_Task"),
+    ]
+
+    def setup(machine: Machine) -> None:
+        machine.attach_device("RCC", RCC())
+        machine.attach_device("I2C1", RegisterFile())
+        gpio_a = GPIO()
+        machine.attach_device("GPIOA", gpio_a)
+        for port in ("GPIOB", "GPIOC", "GPIOD"):
+            machine.attach_device(port, GPIO())
+        dcmi = DCMI()
+        dcmi.set_frame(frame_bytes())
+        machine.attach_device("DCMI", dcmi)
+        machine.attach_device("USB_OTG", USBMassStorage())
+        gpio_a.set_input(BUTTON_PIN, True)  # the user presses the button
+
+    def check(machine: Machine, halt_code: int) -> None:
+        assert halt_code == 1, "photo was not saved"
+        usb_dev = machine.device("USB_OTG")
+        saved = b"".join(usb_dev.disk[i] for i in sorted(usb_dev.disk))
+        assert saved == processed_frame(), "saved photo is corrupted"
+        assert machine.device("DCMI").captures == 1
+        assert machine.device("GPIOD").pin_is_high(LED_PIN)
+
+    return Application(
+        name="Camera",
+        module=module,
+        board=board,
+        specs=specs,
+        setup=setup,
+        check=check,
+        description="Button press -> DCMI capture -> USB flash disk.",
+    )

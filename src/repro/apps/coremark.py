@@ -1,0 +1,359 @@
+"""CoreMark-style benchmark (§6): list processing, matrix
+manipulation, and a state machine, with CRC-checked results.
+
+Mirrors the EEMBC CoreMark structure ("core_list_join.c",
+"core_matrix.c", "core_state.c", "core_util.c") at reduced size.  This
+is the one CPU-bound workload in the suite — no device waits — so it
+exposes the monitor's switch cost directly (the paper's CoreMark bar
+is the tallest runtime-overhead bar for the same reason).
+
+Nine operations as in Table 1.
+"""
+
+from __future__ import annotations
+
+from ..hw.board import stm32f4_discovery
+from ..hw.machine import Machine
+from ..hw.peripherals import GPIO, RCC
+from ..ir import I8, I32, Module, VOID, array, define, ptr
+from ..partition.operations import OperationSpec
+from .base import Application
+from .hal.crypto import add_crypto
+from .hal.libc import add_libc
+from .hal.system import add_system_hal
+
+LIST_NODES = 32
+MATRIX_N = 8
+STATE_INPUT = b"0123abc 45x6 789def 0xA5 42 "
+DEFAULT_ITERATIONS = 100
+
+
+def build(iterations: int = DEFAULT_ITERATIONS) -> Application:
+    board = stm32f4_discovery()
+    module = Module("coremark")
+
+    libc = add_libc(module)
+    crypto = add_crypto(module)
+    system = add_system_hal(module, board)
+
+    node_t = module.struct("list_node", [("value", I32), ("next", I32)])
+    list_pool = module.add_global("list_pool", array(node_t, LIST_NODES),
+                                  source_file="core_list_join.c")
+    list_head = module.add_global("list_head", I32, 0,
+                                  source_file="core_list_join.c")
+    matrix_a = module.add_global("matrix_a", array(I32, MATRIX_N * MATRIX_N),
+                                 source_file="core_matrix.c")
+    matrix_b = module.add_global("matrix_b", array(I32, MATRIX_N * MATRIX_N),
+                                 source_file="core_matrix.c")
+    matrix_c = module.add_global("matrix_c", array(I32, MATRIX_N * MATRIX_N),
+                                 source_file="core_matrix.c")
+    state_input = module.add_global("state_input",
+                                    array(I8, len(STATE_INPUT)),
+                                    list(STATE_INPUT), is_const=True,
+                                    source_file="core_state.c")
+    state_counts = module.add_global("state_counts", array(I32, 4),
+                                     source_file="core_state.c")
+    crc_acc = module.add_global("crc_acc", I32, 0xFFFFFFFF,
+                                source_file="core_util.c")
+    results = module.add_global("results", array(I32, 4),
+                                source_file="core_main.c")
+    # CoreMark dispatches its result check through a function pointer
+    # (the benchmark's single icall in Table 3).
+    verify_fn = module.add_global("verify_fn", ptr(I8),
+                                  source_file="core_main.c")
+
+    # -- core_list_join.c ------------------------------------------------
+    list_init, b = define(module, "core_list_init", VOID, [I32],
+                          source_file="core_list_join.c")
+    (seed,) = list_init.params
+    with b.for_range(0, LIST_NODES) as load_i:
+        i = load_i()
+        value = b.xor(b.mul(i, 1103515245 & 0xFFFF), seed)
+        b.store(value, b.gep(list_pool, 0, i, 0))
+        is_last = b.icmp("eq", i, LIST_NODES - 1)
+        nxt = b.select(is_last, 0xFFFFFFFF, b.add(i, 1))
+        b.store(nxt, b.gep(list_pool, 0, i, 1))
+    b.store(0, list_head)
+    b.ret_void()
+
+    list_reverse, b = define(module, "core_list_reverse", VOID, [],
+                             source_file="core_list_join.c")
+    prev = b.alloca(I32, name="prev")
+    cur = b.alloca(I32, name="cur")
+    b.store(0xFFFFFFFF, prev)
+    b.store(b.load(list_head), cur)
+    with b.while_loop(lambda: b.icmp("ne", b.load(cur), 0xFFFFFFFF)):
+        node = b.load(cur)
+        nxt = b.load(b.gep(list_pool, 0, node, 1))
+        b.store(b.load(prev), b.gep(list_pool, 0, node, 1))
+        b.store(node, prev)
+        b.store(nxt, cur)
+    b.store(b.load(prev), list_head)
+    b.ret_void()
+
+    list_sum, b = define(module, "core_list_sum", I32, [],
+                         source_file="core_list_join.c")
+    total = b.alloca(I32, name="total")
+    cur = b.alloca(I32, name="cur")
+    b.store(0, total)
+    b.store(b.load(list_head), cur)
+    with b.while_loop(lambda: b.icmp("ne", b.load(cur), 0xFFFFFFFF)):
+        node = b.load(cur)
+        b.store(b.add(b.load(total), b.load(b.gep(list_pool, 0, node, 0))),
+                total)
+        b.store(b.load(b.gep(list_pool, 0, node, 1)), cur)
+    b.ret(b.load(total))
+
+    list_find, b = define(module, "core_list_find", I32, [I32],
+                          source_file="core_list_join.c")
+    (needle,) = list_find.params
+    cur = b.alloca(I32, name="cur")
+    b.store(b.load(list_head), cur)
+    with b.while_loop(lambda: b.icmp("ne", b.load(cur), 0xFFFFFFFF)):
+        node = b.load(cur)
+        value = b.load(b.gep(list_pool, 0, node, 0))
+        with b.if_then(b.icmp("eq", value, needle)):
+            b.ret(node)
+        b.store(b.load(b.gep(list_pool, 0, node, 1)), cur)
+    b.ret(0xFFFFFFFF)
+
+    # -- core_matrix.c --------------------------------------------------------
+    matrix_init, b = define(module, "core_matrix_init", VOID, [I32],
+                            source_file="core_matrix.c")
+    (seed,) = matrix_init.params
+    with b.for_range(0, MATRIX_N * MATRIX_N) as load_i:
+        i = load_i()
+        b.store(b.and_(b.add(b.mul(i, 7), seed), 0xFF),
+                b.gep(matrix_a, 0, i))
+        b.store(b.and_(b.add(b.mul(i, 13), seed), 0xFF),
+                b.gep(matrix_b, 0, i))
+        b.store(0, b.gep(matrix_c, 0, i))
+    b.ret_void()
+
+    matrix_mul, b = define(module, "core_matrix_mul", VOID, [],
+                           source_file="core_matrix.c")
+    with b.for_range(0, MATRIX_N) as load_row:
+        row = load_row()
+        with b.for_range(0, MATRIX_N) as load_col:
+            col = load_col()
+            acc = b.alloca(I32, name="acc")
+            b.store(0, acc)
+            with b.for_range(0, MATRIX_N) as load_k:
+                k = load_k()
+                a = b.load(b.gep(matrix_a, 0, b.add(b.mul(row, MATRIX_N), k)))
+                bb = b.load(b.gep(matrix_b, 0, b.add(b.mul(k, MATRIX_N), col)))
+                b.store(b.add(b.load(acc), b.mul(a, bb)), acc)
+            b.store(b.load(acc),
+                    b.gep(matrix_c, 0, b.add(b.mul(row, MATRIX_N), col)))
+    b.ret_void()
+
+    matrix_sum, b = define(module, "core_matrix_sum", I32, [],
+                           source_file="core_matrix.c")
+    total = b.alloca(I32, name="total")
+    b.store(0, total)
+    with b.for_range(0, MATRIX_N * MATRIX_N) as load_i:
+        b.store(b.add(b.load(total), b.load(b.gep(matrix_c, 0, load_i()))),
+                total)
+    b.ret(b.load(total))
+
+    # -- core_state.c ------------------------------------------------------------
+    # Classify each input byte: digit / alpha / space / other.
+    state_classify, b = define(module, "core_state_classify", I32, [I32],
+                               source_file="core_state.c")
+    (byte,) = state_classify.params
+    is_digit = b.and_(b.icmp("uge", byte, ord("0")),
+                      b.icmp("ule", byte, ord("9")))
+    with b.if_then(is_digit):
+        b.ret(0)
+    is_alpha = b.and_(b.icmp("uge", byte, ord("a")),
+                      b.icmp("ule", byte, ord("z")))
+    with b.if_then(is_alpha):
+        b.ret(1)
+    with b.if_then(b.icmp("eq", byte, ord(" "))):
+        b.ret(2)
+    b.ret(3)
+
+    state_machine, b = define(module, "core_state_machine", VOID, [],
+                              source_file="core_state.c")
+    with b.for_range(0, len(STATE_INPUT)) as load_i:
+        i = load_i()
+        byte = b.zext(b.load(b.gep(state_input, 0, i)))
+        kind = b.call(state_classify, byte)
+        slot = b.gep(state_counts, 0, kind)
+        b.store(b.add(b.load(slot), 1), slot)
+    b.ret_void()
+
+    # -- core_util.c ----------------------------------------------------------------
+    crc_fold, b = define(module, "core_crc_fold", VOID, [I32],
+                         source_file="core_util.c")
+    (value,) = crc_fold.params
+    acc = b.load(crc_acc)
+    step1 = b.call(crypto.crc32_update, acc, b.and_(value, 0xFF))
+    step2 = b.call(crypto.crc32_update, step1, b.and_(b.lshr(value, 8), 0xFF))
+    step3 = b.call(crypto.crc32_update, step2, b.and_(b.lshr(value, 16), 0xFF))
+    step4 = b.call(crypto.crc32_update, step3, b.and_(b.lshr(value, 24), 0xFF))
+    b.store(step4, crc_acc)
+    b.ret_void()
+
+    core_verify, b = define(module, "core_verify_results", I32, [],
+                            source_file="core_main.c")
+    # The list checksum must be non-zero after a completed run.
+    list_sum_ok = b.icmp("ne", b.load(b.gep(results, 0, 1)), 0)
+    b.ret(b.select(list_sum_ok, 0, 1))
+
+    # -- the eight task entries ----------------------------------------------------
+    init_task, b = define(module, "Init_Task", VOID, [],
+                          source_file="core_main.c")
+    b.call(list_init, 0x55)
+    b.call(matrix_init, 3)
+    with b.for_range(0, 4) as load_i:
+        b.store(0, b.gep(state_counts, 0, load_i()))
+    b.store(0xFFFFFFFF, crc_acc)
+    b.store(b.inttoptr(b.ptrtoint(core_verify), I8), verify_fn)
+    b.ret_void()
+
+    # Like real CoreMark, each kernel iterates *inside* its task: the
+    # operation switch happens once per kernel, not once per iteration,
+    # and the compute dominates the run.
+    bench_list_task, b = define(module, "Bench_List_Task", VOID, [I32],
+                                source_file="core_main.c")
+    (reps,) = bench_list_task.params
+    with b.for_range(0, reps):
+        b.call(list_reverse)
+        b.call(list_reverse)
+    b.call(list_reverse)  # odd total: the list ends up reversed
+    found = b.call(list_find, 0x55)  # node 0's value (i=0: 0 ^ seed)
+    b.store(found, b.gep(results, 0, 0))
+    b.ret_void()
+
+    list_verify_task, b = define(module, "List_Verify_Task", VOID, [],
+                                 source_file="core_main.c")
+    b.call(list_reverse)  # restore original order
+    b.store(b.call(list_sum), b.gep(results, 0, 1))
+    b.ret_void()
+
+    bench_matrix_task, b = define(module, "Bench_Matrix_Task", VOID, [I32],
+                                  source_file="core_main.c")
+    (reps,) = bench_matrix_task.params
+    with b.for_range(0, reps):
+        b.call(matrix_mul)
+    b.ret_void()
+
+    matrix_verify_task, b = define(module, "Matrix_Verify_Task", VOID, [],
+                                   source_file="core_main.c")
+    b.store(b.call(matrix_sum), b.gep(results, 0, 2))
+    b.ret_void()
+
+    bench_state_task, b = define(module, "Bench_State_Task", VOID, [I32],
+                                 source_file="core_main.c")
+    (reps,) = bench_state_task.params
+    with b.for_range(0, reps):
+        b.call(state_machine)
+    b.ret_void()
+
+    crc_task, b = define(module, "Crc_Task", VOID, [],
+                         source_file="core_util.c")
+    with b.for_range(0, 3) as load_i:
+        b.call(crc_fold, b.load(b.gep(results, 0, load_i())))
+    with b.for_range(0, 4) as load_i:
+        b.call(crc_fold, b.load(b.gep(state_counts, 0, load_i())))
+    b.ret_void()
+
+    report_task, b = define(module, "Report_Task", I32, [],
+                            source_file="core_main.c")
+    from ..ir import FunctionType
+
+    checker = b.load(verify_fn)
+    failures = b.icall(b.ptrtoint(checker), FunctionType(I32, []))
+    b.ret(b.add(b.load(crc_acc), failures))  # failures == 0 on success
+
+    main, b = define(module, "main", I32, [], source_file="core_main.c")
+    b.call(system.system_clock_config)
+    b.call(init_task)
+    b.call(bench_list_task, iterations)
+    b.call(list_verify_task)
+    b.call(bench_matrix_task, iterations)
+    b.call(matrix_verify_task)
+    b.call(bench_state_task, iterations)
+    b.call(crc_task)
+    b.halt(b.call(report_task))
+
+    specs = [
+        OperationSpec("Init_Task"),
+        OperationSpec("Bench_List_Task"),
+        OperationSpec("List_Verify_Task"),
+        OperationSpec("Bench_Matrix_Task"),
+        OperationSpec("Matrix_Verify_Task"),
+        OperationSpec("Bench_State_Task"),
+        OperationSpec("Crc_Task"),
+        OperationSpec("Report_Task"),
+    ]
+
+    def setup(machine: Machine) -> None:
+        machine.attach_device("RCC", RCC())
+        machine.attach_device("GPIOA", GPIO())
+
+    def check(machine: Machine, halt_code: int) -> None:
+        assert halt_code == expected_crc(iterations), (
+            f"CoreMark CRC mismatch: 0x{halt_code:08X}"
+        )
+
+    return Application(
+        name="CoreMark",
+        module=module,
+        board=board,
+        specs=specs,
+        setup=setup,
+        check=check,
+        max_instructions=300_000_000,
+        description="CoreMark-style list/matrix/state kernels, CRC-checked.",
+    )
+
+
+# -- host-side oracle ----------------------------------------------------------
+
+
+def _crc32_update(crc: int, byte: int) -> int:
+    crc = (crc ^ byte) & 0xFFFFFFFF
+    for _ in range(8):
+        crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+    return crc
+
+
+def expected_crc(iterations: int = DEFAULT_ITERATIONS) -> int:
+    """Python mirror of the firmware's CRC-folded results."""
+    values = [0] * LIST_NODES
+    for i in range(LIST_NODES):
+        values[i] = (i * (1103515245 & 0xFFFF)) ^ 0x55
+    found = values.index(0x55)
+
+    a = [((i * 7 + 3) & 0xFF) for i in range(MATRIX_N * MATRIX_N)]
+    b = [((i * 13 + 3) & 0xFF) for i in range(MATRIX_N * MATRIX_N)]
+    c_sum = 0
+    for row in range(MATRIX_N):
+        for col in range(MATRIX_N):
+            acc = sum(
+                a[row * MATRIX_N + k] * b[k * MATRIX_N + col]
+                for k in range(MATRIX_N)
+            ) & 0xFFFFFFFF
+            c_sum = (c_sum + acc) & 0xFFFFFFFF
+
+    counts = [0, 0, 0, 0]
+    for ch in STATE_INPUT:
+        if ord("0") <= ch <= ord("9"):
+            counts[0] += 1
+        elif ord("a") <= ch <= ord("z"):
+            counts[1] += 1
+        elif ch == ord(" "):
+            counts[2] += 1
+        else:
+            counts[3] += 1
+    counts = [c * iterations for c in counts]  # one sweep per iteration
+
+    results = [found, sum(values) & 0xFFFFFFFF, c_sum]
+    crc = 0xFFFFFFFF
+    # Only the final iteration's CRC survives (Init_Task resets it).
+    for value in results + counts:
+        for shift in (0, 8, 16, 24):
+            crc = _crc32_update(crc, (value >> shift) & 0xFF)
+    return crc

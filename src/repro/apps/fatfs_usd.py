@@ -1,0 +1,171 @@
+"""FatFs-uSD: FAT filesystem exercise on the SD card (§6).
+
+"Implements a FAT file system on an SD card.  Then it writes some
+fixed content to a newly created file in the file system.  After that,
+it reads the file and checks whether the content is correct."
+
+Ten operations as in Table 1: the default ``main`` plus nine file-
+system tasks.  ``SDFatFs`` and ``MyFile`` are the two large structure
+globals shared among several operations that the paper calls out as
+the source of this app's high average-accessible-globals percentage.
+"""
+
+from __future__ import annotations
+
+from ..hw.board import stm32479i_eval
+from ..hw.machine import Machine
+from ..hw.peripherals import GPIO, RCC, SDCard
+from ..ir import I8, I32, Module, VOID, array, define
+from ..partition.operations import OperationSpec
+from .base import Application
+from .hal.libc import add_libc
+from .hal.storage import add_sd_hal
+from .hal.system import add_system_hal
+from .lib.fatfs import MODE_CREATE_FLAG, add_fatfs, make_disk_image
+
+MESSAGE = b"This is STM32 working with FatFs + OPEC isolation!!!"
+FILE_NAME = b"LOG.TXT "
+
+
+def build() -> Application:
+    board = stm32479i_eval()
+    module = Module("fatfs_usd")
+
+    libc = add_libc(module)
+    system = add_system_hal(module, board)
+    sd = add_sd_hal(module, board)
+    fatfs = add_fatfs(module, sd, libc)
+
+    sd_fatfs = module.add_global("SDFatFs", fatfs.fatfs_t, source_file="main.c")
+    my_file = module.add_global("MyFile", fatfs.fil_t, source_file="main.c")
+    wtext = module.add_global("wtext", array(I8, 64), list(MESSAGE),
+                              source_file="main.c")
+    rtext = module.add_global("rtext", array(I8, 64), source_file="main.c")
+    file_name = module.add_global("file_name", array(I8, 8), list(FILE_NAME),
+                                  is_const=True, source_file="main.c")
+    verify_result = module.add_global("verify_result", I32, 1,
+                                      source_file="main.c",
+                                      sanitize_range=(0, 1))
+    bytes_read = module.add_global("bytes_read", I32, 0, source_file="main.c")
+    sd_ready = module.add_global("sd_ready", I32, 0, source_file="sd_task.c")
+    # Progress phase, advanced by the filesystem tasks and read by main
+    # and the verifier (real demo shape).
+    fs_phase = module.add_global("fs_phase", I32, 0, source_file="fs_task.c")
+
+    # -- the nine tasks --------------------------------------------------
+    sd_init_task, b = define(module, "Sd_Init_Task", VOID, [],
+                             source_file="sd_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 11)  # SDIOEN
+    b.call(sd.init)
+    b.store(1, sd_ready)
+    b.ret_void()
+
+    mount_task, b = define(module, "Mount_Task", VOID, [],
+                           source_file="fs_task.c")
+    status = b.call(fatfs.f_mount, sd_fatfs)
+    mounted = b.icmp("eq", status, 0)
+    b.store(b.select(mounted, 1, 0), fs_phase)
+    b.ret_void()
+
+    create_task, b = define(module, "Create_Task", VOID, [],
+                            source_file="fs_task.c")
+    b.call(fatfs.f_open, my_file, sd_fatfs, b.gep(file_name, 0, 0),
+           MODE_CREATE_FLAG)
+    b.ret_void()
+
+    write_task, b = define(module, "Write_Task", VOID, [],
+                           source_file="fs_task.c")
+    b.call(fatfs.f_write, my_file, sd_fatfs, b.gep(wtext, 0, 0),
+           len(MESSAGE))
+    b.store(2, fs_phase)
+    b.ret_void()
+
+    close_write_task, b = define(module, "CloseWrite_Task", VOID, [],
+                                 source_file="fs_task.c")
+    b.call(fatfs.f_close, my_file, sd_fatfs)
+    b.ret_void()
+
+    open_task, b = define(module, "Open_Task", VOID, [],
+                          source_file="fs_task.c")
+    b.call(fatfs.f_open, my_file, sd_fatfs, b.gep(file_name, 0, 0), 0)
+    b.ret_void()
+
+    read_task, b = define(module, "Read_Task", VOID, [],
+                          source_file="fs_task.c")
+    count = b.call(fatfs.f_read, my_file, sd_fatfs, b.gep(rtext, 0, 0), 64)
+    b.store(count, bytes_read)
+    b.ret_void()
+
+    verify_task, b = define(module, "Verify_Task", VOID, [],
+                            source_file="verify.c")
+    diff = b.call(libc.memcmp, b.gep(wtext, 0, 0), b.gep(rtext, 0, 0),
+                  b.load(bytes_read))
+    length_ok = b.icmp("eq", b.load(bytes_read), len(MESSAGE))
+    content_ok = b.icmp("eq", diff, 0)
+    phase_ok = b.icmp("uge", b.load(fs_phase), 2)
+    both = b.and_(b.and_(content_ok, length_ok), phase_ok)
+    with b.if_else(both) as otherwise:
+        b.store(0, verify_result)
+        otherwise()
+        b.store(1, verify_result)
+    b.ret_void()
+
+    close_read_task, b = define(module, "CloseRead_Task", VOID, [],
+                                source_file="fs_task.c")
+    b.call(fatfs.f_close, my_file, sd_fatfs)
+    b.ret_void()
+
+    main, b = define(module, "main", I32, [], source_file="main.c")
+    b.call(system.system_clock_config)
+    b.call(system.rcc_enable_gpio, 0x7)
+    b.call(sd_init_task)
+    with b.if_then(b.icmp("eq", b.load(sd_ready), 0)):
+        b.halt(0xDEAD)
+    b.call(mount_task)
+    with b.if_then(b.icmp("eq", b.load(fs_phase), 0)):
+        b.halt(0xDEAD)
+    b.call(create_task)
+    b.call(write_task)
+    b.call(close_write_task)
+    b.call(open_task)
+    b.call(read_task)
+    b.call(verify_task)
+    b.call(close_read_task)
+    ok = b.icmp("eq", b.load(verify_result), 0)
+    b.halt(b.select(ok, b.load(bytes_read), 0))
+
+    specs = [
+        OperationSpec("Sd_Init_Task"),
+        OperationSpec("Mount_Task"),
+        OperationSpec("Create_Task"),
+        OperationSpec("Write_Task"),
+        OperationSpec("CloseWrite_Task"),
+        OperationSpec("Open_Task"),
+        OperationSpec("Read_Task"),
+        OperationSpec("Verify_Task"),
+        OperationSpec("CloseRead_Task"),
+    ]
+
+    def setup(machine: Machine) -> None:
+        machine.attach_device("RCC", RCC())
+        for port in ("GPIOA", "GPIOB", "GPIOC"):
+            machine.attach_device(port, GPIO())
+        # An empty formatted card: the file is created by the firmware.
+        machine.attach_device("SDIO", SDCard(image=make_disk_image({})))
+
+    def check(machine: Machine, halt_code: int) -> None:
+        assert halt_code == len(MESSAGE), (
+            f"read-back verification failed (halt={halt_code})"
+        )
+        card = machine.device("SDIO")
+        assert card.writes > 0, "nothing was written to the card"
+
+    return Application(
+        name="FatFs-uSD",
+        module=module,
+        board=board,
+        specs=specs,
+        setup=setup,
+        check=check,
+        description="Create/write/read/verify a file on a FAT SD card.",
+    )

@@ -1,0 +1,21 @@
+"""Hardware abstraction layer authored in IR.
+
+Every function carries a ``source_file`` tag ("rcc.c", "gpio.c",
+"stm32_hal_uart.c", …) so the ACES filename strategies (§6.4) see the
+same file structure real vendor HAL code has.
+"""
+
+from .camera import add_camera_hal
+from .crypto import add_crypto, fnv1a_host
+from .display import add_dma2d_hal, add_lcd_hal
+from .ethernet import add_eth_hal
+from .libc import add_libc
+from .storage import add_sd_hal, add_usb_hal
+from .system import add_system_hal
+from .uart import ATTACK_TRIGGER, add_uart_hal
+
+__all__ = [
+    "add_camera_hal", "add_crypto", "fnv1a_host", "add_dma2d_hal",
+    "add_lcd_hal", "add_eth_hal", "add_libc", "add_sd_hal", "add_usb_hal",
+    "add_system_hal", "ATTACK_TRIGGER", "add_uart_hal",
+]

@@ -1,0 +1,51 @@
+"""Camera HAL authored in IR: DCMI snapshot driver ("stm32_hal_dcmi.c")
+plus the I2C sensor-configuration shim ("ov5640.c") the Camera app's
+init task pokes.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I32, Module, VOID, define, ptr
+
+DCMI_CR = 0x00
+DCMI_SR = 0x04
+DCMI_DR = 0x28
+SR_FNE = 1 << 2
+I2C_CR1 = 0x00
+I2C_DR = 0x10
+
+
+def add_camera_hal(module: Module, board: Board) -> SimpleNamespace:
+    dcmi = board.peripheral("DCMI").base
+    i2c = board.peripheral("I2C1").base
+    p32 = ptr(I32)
+
+    sensor_init, b = define(module, "OV5640_Init", VOID, [],
+                            source_file="ov5640.c")
+    b.store(1, b.mmio(i2c + I2C_CR1))
+    with b.for_range(0, 8) as load_i:
+        # Write a small register-config table to the sensor.
+        b.store(b.add(b.mul(load_i(), 3), 0x40), b.mmio(i2c + I2C_DR))
+    b.ret_void()
+
+    dcmi_capture, b = define(module, "DCMI_Snapshot", VOID, [p32, I32],
+                             source_file="stm32_hal_dcmi.c")
+    buffer, max_words = dcmi_capture.params
+    b.store(1, b.mmio(dcmi + DCMI_CR))  # capture
+    count = b.alloca(I32, name="count")
+    b.store(0, count)
+    with b.while_loop(
+        lambda: b.and_(
+            b.icmp("ne", b.and_(b.load(b.mmio(dcmi + DCMI_SR)), SR_FNE), 0),
+            b.icmp("ult", b.load(count), max_words),
+        )
+    ):
+        word = b.load(b.mmio(dcmi + DCMI_DR))
+        b.store(word, b.gep(buffer, b.load(count)))
+        b.store(b.add(b.load(count), 1), count)
+    b.ret_void()
+
+    return SimpleNamespace(sensor_init=sensor_init, snapshot=dcmi_capture)

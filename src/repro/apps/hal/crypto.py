@@ -1,0 +1,56 @@
+"""Tiny crypto library authored in IR ("crypto.c").
+
+PinLock hashes the received PIN and compares against the stored key
+hash (§6.1).  FNV-1a is small, real, and data-dependent enough to
+exercise the ALU path; CRC32 (bitwise) backs CoreMark's result
+checking.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...ir import I8, I32, Module, define, ptr
+
+FNV_OFFSET = 0x811C9DC5
+FNV_PRIME = 0x01000193
+
+
+def add_crypto(module: Module) -> SimpleNamespace:
+    p8 = ptr(I8)
+
+    fnv1a, b = define(module, "fnv1a_hash", I32, [p8, I32],
+                      source_file="crypto.c")
+    data, length = fnv1a.params
+    state = b.alloca(I32, name="h")
+    b.store(FNV_OFFSET, state)
+    with b.for_range(0, length) as load_i:
+        i = load_i()
+        byte = b.zext(b.load(b.gep(data, i)))
+        mixed = b.xor(b.load(state), byte)
+        b.store(b.mul(mixed, FNV_PRIME), state)
+    b.ret(b.load(state))
+
+    crc32_update, b = define(module, "crc32_update", I32, [I32, I32],
+                             source_file="crypto.c")
+    crc_in, byte = crc32_update.params
+    crc = b.alloca(I32, name="crc")
+    b.store(b.xor(crc_in, byte), crc)
+    with b.for_range(0, 8):
+        value = b.load(crc)
+        lsb = b.and_(value, 1)
+        shifted = b.lshr(value, 1)
+        has_bit = b.icmp("ne", lsb, 0)
+        poly = b.select(has_bit, 0xEDB88320, 0)
+        b.store(b.xor(shifted, poly), crc)
+    b.ret(b.load(crc))
+
+    return SimpleNamespace(fnv1a=fnv1a, crc32_update=crc32_update)
+
+
+def fnv1a_host(data: bytes) -> int:
+    """Host-side mirror of ``fnv1a_hash`` (for test oracles/stimuli)."""
+    state = FNV_OFFSET
+    for byte in data:
+        state = ((state ^ byte) * FNV_PRIME) & 0xFFFFFFFF
+    return state

@@ -1,0 +1,87 @@
+"""Display HAL authored in IR: LTDC driver ("stm32_hal_ltdc.c") and
+DMA2D blitter driver ("stm32_hal_dma2d.c").
+
+``LCD_Draw_Buffer`` pushes pixel words into the framebuffer with the
+CPU; ``DMA2D_Copy`` programs the blitter to do it (and, like real
+hardware, the blitter's transfers bypass the MPU).  ``LCD_Fade``
+implements the fade-in/fade-out effect LCD-uSD shows (§6).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I32, Module, VOID, define, ptr
+
+LTDC_GCR = 0x18
+LTDC_SRCR = 0x24
+LTDC_L1CFBAR = 0x84
+DMA2D_CR = 0x00
+DMA2D_ISR = 0x04
+DMA2D_FGMAR = 0x0C
+DMA2D_OMAR = 0x3C
+DMA2D_NLR = 0x44
+
+
+def add_lcd_hal(module: Module, board: Board) -> SimpleNamespace:
+    base = board.peripheral("LTDC").base
+    p32 = ptr(I32)
+
+    lcd_init, b = define(module, "BSP_LCD_Init", VOID, [I32],
+                         source_file="stm32_hal_ltdc.c")
+    (framebuffer,) = lcd_init.params
+    b.store(framebuffer, b.mmio(base + LTDC_L1CFBAR))
+    b.store(1, b.mmio(base + LTDC_GCR))  # enable controller
+    b.ret_void()
+
+    lcd_reload, b = define(module, "BSP_LCD_Reload", VOID, [],
+                           source_file="stm32_hal_ltdc.c")
+    b.store(1, b.mmio(base + LTDC_SRCR))  # present the frame
+    b.ret_void()
+
+    draw_buffer, b = define(module, "LCD_Draw_Buffer", VOID,
+                            [p32, p32, I32], source_file="stm32_hal_ltdc.c")
+    framebuffer, pixels, words = draw_buffer.params
+    with b.for_range(0, words) as load_i:
+        i = load_i()
+        b.store(b.load(b.gep(pixels, i)), b.gep(framebuffer, i))
+    b.ret_void()
+
+    # Scale every pixel word's low byte by level/8 — the fade effect.
+    lcd_fade, b = define(module, "LCD_Fade", VOID, [p32, I32, I32],
+                         source_file="stm32_hal_ltdc.c")
+    framebuffer, words, level = lcd_fade.params
+    with b.for_range(0, words) as load_i:
+        i = load_i()
+        slot = b.gep(framebuffer, i)
+        pixel = b.load(slot)
+        faded = b.udiv(b.mul(pixel, level), 8)
+        b.store(faded, slot)
+    b.ret_void()
+
+    return SimpleNamespace(
+        init=lcd_init, reload=lcd_reload, draw_buffer=draw_buffer,
+        fade=lcd_fade,
+    )
+
+
+def add_dma2d_hal(module: Module, board: Board) -> SimpleNamespace:
+    base = board.peripheral("DMA2D").base
+
+    dma2d_copy, b = define(module, "DMA2D_Copy", VOID, [I32, I32, I32],
+                           source_file="stm32_hal_dma2d.c")
+    source, destination, byte_count = dma2d_copy.params
+    b.store(source, b.mmio(base + DMA2D_FGMAR))
+    b.store(destination, b.mmio(base + DMA2D_OMAR))
+    b.store(b.or_(b.shl(1, 16), byte_count), b.mmio(base + DMA2D_NLR))
+    b.store(1, b.mmio(base + DMA2D_CR))  # start
+    with b.while_loop(
+        lambda: b.icmp(
+            "eq", b.and_(b.load(b.mmio(base + DMA2D_ISR)), 1 << 1), 0
+        )
+    ):
+        pass
+    b.ret_void()
+
+    return SimpleNamespace(copy=dma2d_copy)

@@ -1,0 +1,82 @@
+"""Ethernet MAC HAL authored in IR ("stm32_hal_eth.c").
+
+Word-streaming receive/transmit against the MAC's register protocol;
+the TCP-Echo network stack (:mod:`repro.apps.lib.netstack`) sits on
+top of these.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I32, Module, VOID, define, ptr
+
+MACCR = 0x00
+RX_STAT = 0x10
+RX_LEN = 0x14
+RX_DATA = 0x18
+RX_RELEASE = 0x1C
+TX_DATA = 0x20
+TX_LEN = 0x24
+TX_GO = 0x28
+
+
+def add_eth_hal(module: Module, board: Board) -> SimpleNamespace:
+    base = board.peripheral("ETH").base
+    p32 = ptr(I32)
+
+    heth_errors = module.add_global("eth_rx_errors", I32, 0,
+                                    source_file="stm32_hal_eth.c")
+
+    # DMA-error recovery: never taken in the model, but part of every
+    # receive path's static dependency (untaken-branch over-privilege).
+    eth_rx_abort, b = define(module, "ETH_RxAbort", VOID, [],
+                             source_file="stm32_hal_eth.c")
+    b.store(b.add(b.load(heth_errors), 1), heth_errors)
+    b.store(0, b.mmio(base + MACCR))  # stop the MAC
+    b.halt(0xEC)
+
+    eth_init, b = define(module, "HAL_ETH_Init", VOID, [],
+                         source_file="stm32_hal_eth.c")
+    b.store(0x0000C800, b.mmio(base + MACCR))  # FES | DM | RE/TE
+    b.ret_void()
+
+    frames_waiting, b = define(module, "ETH_Frames_Waiting", I32, [],
+                               source_file="stm32_hal_eth.c")
+    b.ret(b.load(b.mmio(base + RX_STAT)))
+
+    # Receive the head frame into `buffer`; returns its byte length.
+    rx_frame, b = define(module, "HAL_ETH_RxFrame", I32, [p32, I32],
+                         source_file="stm32_hal_eth.c")
+    buffer, max_words = rx_frame.params
+    length = b.load(b.mmio(base + RX_LEN), name="len")
+    with b.if_then(b.icmp("eq", length, 0)):
+        b.call(eth_rx_abort)  # descriptor error: unreachable here
+    words = b.udiv(b.add(length, 3), 4)
+    clamped = b.select(b.icmp("ult", words, max_words), words, max_words)
+    with b.for_range(0, clamped) as load_i:
+        i = load_i()
+        word = b.load(b.mmio(base + RX_DATA))
+        b.store(word, b.gep(buffer, i))
+    b.store(1, b.mmio(base + RX_RELEASE))
+    # Report at most what fits the caller's buffer (oversized frames
+    # are truncated, as a descriptor-ring driver would).
+    capacity = b.mul(max_words, 4)
+    b.ret(b.select(b.icmp("ugt", length, capacity), capacity, length))
+
+    tx_frame, b = define(module, "HAL_ETH_TxFrame", VOID, [p32, I32],
+                         source_file="stm32_hal_eth.c")
+    buffer, length = tx_frame.params
+    words = b.udiv(b.add(length, 3), 4)
+    with b.for_range(0, words) as load_i:
+        i = load_i()
+        b.store(b.load(b.gep(buffer, i)), b.mmio(base + TX_DATA))
+    b.store(length, b.mmio(base + TX_LEN))
+    b.store(1, b.mmio(base + TX_GO))
+    b.ret_void()
+
+    return SimpleNamespace(
+        init=eth_init, frames_waiting=frames_waiting,
+        rx_frame=rx_frame, tx_frame=tx_frame,
+    )

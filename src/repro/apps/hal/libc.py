@@ -1,0 +1,79 @@
+"""Freestanding libc subset authored in IR ("string.c").
+
+The usual suspects every firmware links: ``memcpy``, ``memset``,
+``memcmp``, ``strlen``, plus word-wise copies the drivers use.  These
+are deliberately byte-loop implementations — the same shape newlib's
+nano variants have — so they exercise real load/store traffic under the
+MPU.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...ir import I8, I32, Module, VOID, define, ptr
+
+FILE = "string.c"
+
+
+def add_libc(module: Module) -> SimpleNamespace:
+    """Register the libc subset into ``module``; returns the handles."""
+    p8 = ptr(I8)
+
+    memcpy, b = define(module, "memcpy", VOID, [p8, p8, I32], source_file=FILE)
+    dst, src, count = memcpy.params
+    with b.for_range(0, count) as load_i:
+        i = load_i()
+        byte = b.load(b.gep(src, i))
+        b.store(byte, b.gep(dst, i))
+    b.ret_void()
+
+    memset, b = define(module, "memset", VOID, [p8, I8, I32], source_file=FILE)
+    dst, value, count = memset.params
+    with b.for_range(0, count) as load_i:
+        b.store(value, b.gep(dst, load_i()))
+    b.ret_void()
+
+    memcmp, b = define(module, "memcmp", I32, [p8, p8, I32], source_file=FILE)
+    lhs, rhs, count = memcmp.params
+    result = b.alloca(I32, name="result")
+    b.store(0, result)
+    with b.for_range(0, count) as load_i:
+        i = load_i()
+        a = b.zext(b.load(b.gep(lhs, i)))
+        c = b.zext(b.load(b.gep(rhs, i)))
+        diff = b.icmp("ne", a, c)
+        with b.if_then(diff):
+            b.store(b.sub(a, c), result)
+            b.ret(b.load(result))
+    b.ret(0)
+
+    strlen, b = define(module, "strlen", I32, [p8], source_file=FILE)
+    (text,) = strlen.params
+    length = b.alloca(I32, name="len")
+    b.store(0, length)
+    with b.while_loop(
+        lambda: b.icmp("ne", b.zext(b.load(b.gep(text, b.load(length)))), 0)
+    ):
+        b.store(b.add(b.load(length), 1), length)
+    b.ret(b.load(length))
+
+    word_copy, b = define(module, "word_copy", VOID,
+                          [ptr(I32), ptr(I32), I32], source_file=FILE)
+    dst, src, words = word_copy.params
+    with b.for_range(0, words) as load_i:
+        i = load_i()
+        b.store(b.load(b.gep(src, i)), b.gep(dst, i))
+    b.ret_void()
+
+    word_fill, b = define(module, "word_fill", VOID,
+                          [ptr(I32), I32, I32], source_file=FILE)
+    dst, value, words = word_fill.params
+    with b.for_range(0, words) as load_i:
+        b.store(value, b.gep(dst, load_i()))
+    b.ret_void()
+
+    return SimpleNamespace(
+        memcpy=memcpy, memset=memset, memcmp=memcmp, strlen=strlen,
+        word_copy=word_copy, word_fill=word_fill,
+    )

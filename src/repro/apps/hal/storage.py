@@ -1,0 +1,134 @@
+"""Storage HAL authored in IR: SDIO block driver ("stm32_hal_sd.c")
+and USB mass-storage writer ("usbh_msc.c").
+
+Single-block reads/writes stream 128 words through the controller FIFO
+— the dominant MMIO traffic in the Animation / FatFs-uSD / LCD-uSD /
+Camera workloads.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I32, Module, VOID, define, ptr
+
+SDIO_POWER = 0x00
+SDIO_ARG = 0x08
+SDIO_CMD = 0x0C
+SDIO_STA = 0x34
+SDIO_FIFO = 0x80
+CMD_READ_BLOCK = 17
+CMD_WRITE_BLOCK = 24
+STA_CMDREND = 1 << 6
+
+USB_CTRL = 0x00
+USB_BLK = 0x04
+USB_DATA = 0x08
+USB_STA = 0x0C
+
+WORDS_PER_BLOCK = 128
+
+
+STA_ERRORS = 0x3F  # CCRCFAIL/DCRCFAIL/CTIMEOUT/DTIMEOUT/TXUNDERR/RXOVERR
+
+
+def add_sd_hal(module: Module, board: Board) -> SimpleNamespace:
+    base = board.peripheral("SDIO").base
+    p32 = ptr(I32)
+
+    hsd_t = module.struct("SD_Handle", [
+        ("instance", I32), ("state", I32), ("error", I32),
+        ("blocks_read", I32), ("blocks_written", I32),
+    ])
+    hsd = module.add_global("hsd", hsd_t, source_file="stm32_hal_sd.c")
+    sd_abort_count = module.add_global("sd_abort_count", I32, 0,
+                                       source_file="stm32_hal_sd.c")
+
+    # The abort path only runs on card errors — never in the model, but
+    # it rides along in every SD-using operation's dependency set (the
+    # untaken-branch over-privilege of §6.4).
+    sd_abort, b = define(module, "SD_Abort", VOID, [],
+                         source_file="stm32_hal_sd.c")
+    b.store(b.add(b.load(sd_abort_count), 1), sd_abort_count)
+    b.store(0, b.mmio(base + SDIO_POWER))  # power the card down
+    b.halt(0xED)
+
+    sd_check_error, b = define(module, "SD_CheckError", VOID, [],
+                               source_file="stm32_hal_sd.c")
+    status = b.load(b.mmio(base + SDIO_STA))
+    failed = b.icmp("ne", b.and_(status, STA_ERRORS & ~STA_CMDREND), 0)
+    with b.if_then(failed):
+        b.store(status, b.gep(hsd, 0, 2))
+        b.store(3, b.gep(hsd, 0, 1))  # HAL_SD_STATE_ERROR
+        b.call(sd_abort)
+    b.ret_void()
+
+    sd_init, b = define(module, "BSP_SD_Init", VOID, [],
+                        source_file="stm32_hal_sd.c")
+    b.store(base, b.gep(hsd, 0, 0))
+    b.store(3, b.mmio(base + SDIO_POWER))  # power on
+    with b.while_loop(
+        lambda: b.icmp(
+            "eq", b.and_(b.load(b.mmio(base + SDIO_STA)), STA_CMDREND), 0
+        )
+    ):
+        pass
+    b.call(sd_check_error)
+    b.store(1, b.gep(hsd, 0, 1))  # HAL_SD_STATE_READY
+    b.ret_void()
+
+    read_block, b = define(module, "BSP_SD_ReadBlock", VOID, [I32, p32],
+                           source_file="stm32_hal_sd.c")
+    block, buffer = read_block.params
+    b.store(block, b.mmio(base + SDIO_ARG))
+    b.store(CMD_READ_BLOCK, b.mmio(base + SDIO_CMD))
+    with b.for_range(0, WORDS_PER_BLOCK) as load_i:
+        i = load_i()
+        word = b.load(b.mmio(base + SDIO_FIFO))
+        b.store(word, b.gep(buffer, i))
+    b.call(sd_check_error)
+    b.store(b.add(b.load(b.gep(hsd, 0, 3)), 1), b.gep(hsd, 0, 3))
+    b.ret_void()
+
+    write_block, b = define(module, "BSP_SD_WriteBlock", VOID, [I32, p32],
+                            source_file="stm32_hal_sd.c")
+    block, buffer = write_block.params
+    b.store(block, b.mmio(base + SDIO_ARG))
+    b.store(CMD_WRITE_BLOCK, b.mmio(base + SDIO_CMD))
+    with b.for_range(0, WORDS_PER_BLOCK) as load_i:
+        i = load_i()
+        b.store(b.load(b.gep(buffer, i)), b.mmio(base + SDIO_FIFO))
+    b.call(sd_check_error)
+    b.store(b.add(b.load(b.gep(hsd, 0, 4)), 1), b.gep(hsd, 0, 4))
+    b.ret_void()
+
+    return SimpleNamespace(
+        init=sd_init, read_block=read_block, write_block=write_block,
+        check_error=sd_check_error, handle=hsd,
+    )
+
+
+def add_usb_hal(module: Module, board: Board) -> SimpleNamespace:
+    base = board.peripheral("USB_OTG").base
+    p32 = ptr(I32)
+
+    usb_init, b = define(module, "USBH_MSC_Init", VOID, [],
+                         source_file="usbh_msc.c")
+    b.store(1, b.mmio(base + USB_CTRL))
+    with b.while_loop(
+        lambda: b.icmp("eq", b.and_(b.load(b.mmio(base + USB_STA)), 1), 0)
+    ):
+        pass
+    b.ret_void()
+
+    usb_write_block, b = define(module, "USBH_MSC_WriteBlock", VOID,
+                                [I32, p32], source_file="usbh_msc.c")
+    block, buffer = usb_write_block.params
+    b.store(block, b.mmio(base + USB_BLK))
+    with b.for_range(0, WORDS_PER_BLOCK) as load_i:
+        i = load_i()
+        b.store(b.load(b.gep(buffer, i)), b.mmio(base + USB_DATA))
+    b.ret_void()
+
+    return SimpleNamespace(init=usb_init, write_block=usb_write_block)

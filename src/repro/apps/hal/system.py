@@ -1,0 +1,187 @@
+"""System HAL authored in IR: clocks, GPIO, SysTick ("rcc.c",
+"gpio.c", "systick.c").
+
+These drivers access their peripherals the way vendor HAL code does —
+loads/stores through constant memory-mapped addresses — which is
+exactly the pattern the compiler's backward slicing identifies (§4.2).
+``systick_config`` touches the Private Peripheral Bus, so unprivileged
+operations reach it only through the monitor's load/store emulation
+(§5.2).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I32, Module, VOID, define
+
+# STM32 register offsets used below.
+RCC_CR = 0x00
+RCC_CFGR = 0x08
+RCC_AHB1ENR = 0x30
+RCC_APB1ENR = 0x40
+RCC_APB2ENR = 0x44
+GPIO_MODER = 0x00
+GPIO_IDR = 0x10
+GPIO_ODR = 0x14
+GPIO_BSRR = 0x18
+SYSTICK_BASE = 0xE000E010
+SYSTICK_CSR = SYSTICK_BASE + 0x0
+SYSTICK_RVR = SYSTICK_BASE + 0x4
+SYSTICK_CVR = SYSTICK_BASE + 0x8
+
+
+def add_system_hal(module: Module, board: Board) -> SimpleNamespace:
+    rcc = board.peripheral("RCC").base
+
+    # -- hal.c: framework state shared across every driver -------------
+    system_core_clock = module.add_global("SystemCoreClock", I32, 16_000_000,
+                                          source_file="rcc.c")
+    uw_tick = module.add_global("uwTick", I32, 0, source_file="hal.c")
+    error_code = module.add_global("hal_error_code", I32, 0,
+                                   source_file="hal.c")
+
+    error_handler, b = define(module, "Error_Handler", VOID, [I32],
+                              source_file="hal.c")
+    (code,) = error_handler.params
+    b.store(code, error_code)
+    b.halt(0xEE)  # a real firmware would spin; the simulation stops
+
+    hal_inc_tick, b = define(module, "HAL_IncTick", VOID, [],
+                             source_file="hal.c")
+    b.store(b.add(b.load(uw_tick), 1), uw_tick)
+    b.ret_void()
+
+    hal_get_tick, b = define(module, "HAL_GetTick", I32, [],
+                             source_file="hal.c")
+    b.ret(b.load(uw_tick))
+
+    hal_delay, b = define(module, "HAL_Delay", VOID, [I32],
+                          source_file="hal.c")
+    (ticks,) = hal_delay.params
+    with b.for_range(0, ticks):
+        b.call(hal_inc_tick)
+    b.ret_void()
+
+    # -- rcc.c -------------------------------------------------------
+    osc_config, b = define(module, "HAL_RCC_OscConfig", VOID, [],
+                           source_file="rcc.c")
+    # Turn on HSE + PLL and spin on the ready flags (they read as set).
+    cr = b.mmio(rcc + RCC_CR)
+    b.store(b.or_(b.load(cr), (1 << 16) | (1 << 24)), cr)
+    with b.while_loop(
+        lambda: b.icmp("eq", b.and_(b.load(b.mmio(rcc + RCC_CR)), 1 << 17), 0)
+    ):
+        pass
+    # PLL lock check: never fails in the model, but the error path is
+    # real firmware shape (and real untaken-branch over-privilege).
+    pll_ready = b.and_(b.load(b.mmio(rcc + RCC_CR)), 1 << 25)
+    with b.if_then(b.icmp("eq", pll_ready, 0)):
+        b.call(error_handler, 0x01)
+    b.ret_void()
+
+    clock_config, b = define(module, "HAL_RCC_ClockConfig", VOID, [],
+                             source_file="rcc.c")
+    b.store(0x0000240A, b.mmio(rcc + RCC_CFGR))
+    b.store(168_000_000, system_core_clock)
+    b.ret_void()
+
+    system_clock_config, b = define(module, "SystemClock_Config", VOID, [],
+                                    source_file="rcc.c")
+    b.call(osc_config)
+    b.call(clock_config)
+    b.ret_void()
+
+    rcc_enable_gpio, b = define(module, "RCC_Enable_GPIO", VOID, [I32],
+                                source_file="rcc.c")
+    (mask,) = rcc_enable_gpio.params
+    enr = b.mmio(rcc + RCC_AHB1ENR)
+    b.store(b.or_(b.load(enr), mask), enr)
+    b.ret_void()
+
+    rcc_enable_apb1, b = define(module, "RCC_Enable_APB1", VOID, [I32],
+                                source_file="rcc.c")
+    (mask,) = rcc_enable_apb1.params
+    enr = b.mmio(rcc + RCC_APB1ENR)
+    b.store(b.or_(b.load(enr), mask), enr)
+    b.ret_void()
+
+    rcc_enable_apb2, b = define(module, "RCC_Enable_APB2", VOID, [I32],
+                                source_file="rcc.c")
+    (mask,) = rcc_enable_apb2.params
+    enr = b.mmio(rcc + RCC_APB2ENR)
+    b.store(b.or_(b.load(enr), mask), enr)
+    b.ret_void()
+
+    # -- gpio.c -------------------------------------------------------
+    gpio_funcs: dict[str, SimpleNamespace] = {}
+    for port in ("GPIOA", "GPIOB", "GPIOC", "GPIOD"):
+        base = board.peripheral(port).base
+        suffix = port[-1]
+
+        init, b = define(module, f"GPIO{suffix}_Init_Pin", VOID, [I32, I32],
+                         source_file="gpio.c")
+        pin, mode = init.params
+        moder = b.mmio(base + GPIO_MODER)
+        shift = b.shl(pin, 1)
+        cleared = b.and_(b.load(moder), b.xor(b.shl(3, shift), 0xFFFFFFFF))
+        b.store(b.or_(cleared, b.shl(mode, shift)), moder)
+        b.ret_void()
+
+        write, b = define(module, f"GPIO{suffix}_Write_Pin", VOID, [I32, I32],
+                          source_file="gpio.c")
+        pin, state = write.params
+        bsrr = b.mmio(base + GPIO_BSRR)
+        is_set = b.icmp("ne", state, 0)
+        with b.if_else(is_set) as otherwise:
+            b.store(b.shl(1, pin), bsrr)
+            otherwise()
+            b.store(b.shl(b.shl(1, pin), 16), bsrr)
+        b.ret_void()
+
+        read, b = define(module, f"GPIO{suffix}_Read_Pin", I32, [I32],
+                         source_file="gpio.c")
+        (pin,) = read.params
+        idr = b.load(b.mmio(base + GPIO_IDR))
+        b.ret(b.and_(b.lshr(idr, pin), 1))
+
+        gpio_funcs[port] = SimpleNamespace(init=init, write=write, read=read)
+
+    # -- systick.c (core peripheral: PPB) -----------------------------
+    systick_config, b = define(module, "SysTick_Config", VOID, [I32],
+                               source_file="systick.c")
+    (hz,) = systick_config.params
+    reload = b.sub(b.udiv(b.load(system_core_clock), hz), 1)
+    too_big = b.icmp("ugt", reload, 0xFFFFFF)
+    with b.if_then(too_big):
+        b.call(error_handler, 0x02)
+    b.store(reload, b.mmio(SYSTICK_RVR))
+    b.store(0, b.mmio(SYSTICK_CVR))
+    b.store(7, b.mmio(SYSTICK_CSR))
+    b.ret_void()
+
+    delay_loop, b = define(module, "Delay_Loop", VOID, [I32],
+                           source_file="systick.c")
+    (ticks,) = delay_loop.params
+    with b.for_range(0, ticks):
+        pass
+    b.ret_void()
+
+    return SimpleNamespace(
+        system_clock_config=system_clock_config,
+        osc_config=osc_config,
+        clock_config=clock_config,
+        rcc_enable_gpio=rcc_enable_gpio,
+        rcc_enable_apb1=rcc_enable_apb1,
+        rcc_enable_apb2=rcc_enable_apb2,
+        gpio=gpio_funcs,
+        systick_config=systick_config,
+        delay_loop=delay_loop,
+        error_handler=error_handler,
+        hal_inc_tick=hal_inc_tick,
+        hal_get_tick=hal_get_tick,
+        hal_delay=hal_delay,
+        globals=SimpleNamespace(system_core_clock=system_core_clock,
+                                uw_tick=uw_tick, error_code=error_code),
+    )

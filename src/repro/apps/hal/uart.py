@@ -1,0 +1,144 @@
+"""UART HAL authored in IR ("stm32_hal_uart.c").
+
+Includes ``HAL_UART_Receive_IT`` — the function the paper's PinLock
+case study assumes is buggy (§6.1).  The optional *planted
+vulnerability* models the attacker's arbitrary-write primitive: when
+the host sends the trigger byte 0xEE, the function reads a 4-byte
+target address and a 4-byte value off the wire and writes the value to
+that address — a faithful stand-in for a hijacked receive path.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...hw.board import Board
+from ...ir import I8, I32, Module, VOID, define, ptr
+
+UART_SR = 0x00
+UART_DR = 0x04
+UART_BRR = 0x08
+UART_CR1 = 0x0C
+SR_RXNE = 1 << 5
+SR_TXE = 1 << 7
+
+ATTACK_TRIGGER = 0xEE
+
+
+SR_ORE = 1 << 3
+
+
+def add_uart_hal(module: Module, board: Board, *,
+                 uart_name: str = "USART2",
+                 with_vulnerability: bool = False,
+                 error_handler=None) -> SimpleNamespace:
+    base = board.peripheral(uart_name).base
+    p8 = ptr(I8)
+
+    # Driver handle + statistics: the UART_HandleTypeDef analogue.
+    huart_t = module.struct("UART_Handle", [
+        ("instance", I32), ("baudrate", I32), ("state", I32),
+        ("rx_count", I32), ("tx_count", I32),
+    ])
+    huart = module.add_global("huart2", huart_t,
+                              source_file="stm32_hal_uart.c")
+    uart_errors = module.add_global("uart_error_count", I32, 0,
+                                    source_file="stm32_hal_uart.c")
+
+    uart_init, b = define(module, "HAL_UART_Init", VOID, [],
+                          source_file="stm32_hal_uart.c")
+    b.store(base, b.gep(huart, 0, 0))
+    b.store(115_200, b.gep(huart, 0, 1))
+    b.store(0x0683, b.mmio(base + UART_BRR))
+    b.store(0x200C, b.mmio(base + UART_CR1))   # UE | TE | RE
+    b.store(1, b.gep(huart, 0, 2))             # HAL_UART_STATE_READY
+    b.ret_void()
+
+    read_byte, b = define(module, "UART_Read_Byte", I32, [],
+                          source_file="stm32_hal_uart.c")
+    with b.while_loop(
+        lambda: b.icmp("eq", b.and_(b.load(b.mmio(base + UART_SR)), SR_RXNE), 0)
+    ):
+        pass
+    status = b.load(b.mmio(base + UART_SR))
+    overrun = b.icmp("ne", b.and_(status, SR_ORE), 0)
+    with b.if_then(overrun):
+        # Never taken in the model, but real receive paths carry it —
+        # the untaken-branch over-privilege of §6.4.
+        b.store(b.add(b.load(uart_errors), 1), uart_errors)
+        if error_handler is not None:
+            b.call(error_handler, 0x10)
+    b.store(b.add(b.load(b.gep(huart, 0, 3)), 1), b.gep(huart, 0, 3))
+    b.ret(b.load(b.mmio(base + UART_DR)))
+
+    write_byte, b = define(module, "UART_Write_Byte", VOID, [I32],
+                           source_file="stm32_hal_uart.c")
+    (byte,) = write_byte.params
+    with b.while_loop(
+        lambda: b.icmp("eq", b.and_(b.load(b.mmio(base + UART_SR)), SR_TXE), 0)
+    ):
+        pass
+    b.store(byte, b.mmio(base + UART_DR))
+    b.store(b.add(b.load(b.gep(huart, 0, 4)), 1), b.gep(huart, 0, 4))
+    b.ret_void()
+
+    transmit, b = define(module, "HAL_UART_Transmit", VOID, [p8, I32],
+                         source_file="stm32_hal_uart.c")
+    data, length = transmit.params
+    with b.for_range(0, length) as load_i:
+        byte = b.zext(b.load(b.gep(data, load_i())))
+        b.call(write_byte, byte)
+    b.ret_void()
+
+    # HAL_UART_Receive_IT(buffer, length): receive `length` bytes.
+    receive, b = define(module, "HAL_UART_Receive_IT", VOID, [p8, I32],
+                        source_file="stm32_hal_uart.c")
+    buffer, length = receive.params
+    if with_vulnerability:
+        # Buggy parsing path: a 0xEE header smuggles an arbitrary write
+        # (address, value) through the receive routine.
+        first = b.call(read_byte, name="first")
+        is_attack = b.icmp("eq", first, ATTACK_TRIGGER)
+        with b.if_else(is_attack) as otherwise:
+            address = b.alloca(I32, name="target")
+            b.store(0, address)
+            with b.for_range(0, 4) as load_i:
+                i = load_i()
+                byte = b.call(read_byte)
+                shifted = b.shl(byte, b.mul(i, 8))
+                b.store(b.or_(b.load(address), shifted), address)
+            value = b.alloca(I32, name="value")
+            b.store(0, value)
+            with b.for_range(0, 4) as load_i:
+                i = load_i()
+                byte = b.call(read_byte)
+                shifted = b.shl(byte, b.mul(i, 8))
+                b.store(b.or_(b.load(value), shifted), value)
+            target = b.inttoptr(b.load(address), I32)
+            b.store(b.load(value), target)   # the arbitrary write
+            b.ret_void()
+            otherwise()
+            b.store(b.trunc(first), b.gep(buffer, 0))
+            with b.for_range(1, length) as load_i:
+                i = load_i()
+                byte = b.call(read_byte)
+                b.store(b.trunc(byte), b.gep(buffer, i))
+        b.ret_void()
+    else:
+        with b.for_range(0, length) as load_i:
+            i = load_i()
+            byte = b.call(read_byte)
+            b.store(b.trunc(byte), b.gep(buffer, i))
+        b.ret_void()
+
+    send_string, b = define(module, "UART_Send_String", VOID, [p8, I32],
+                            source_file="stm32_hal_uart.c")
+    text, length = send_string.params
+    b.call(transmit, text, length)
+    b.ret_void()
+
+    return SimpleNamespace(
+        init=uart_init, read_byte=read_byte, write_byte=write_byte,
+        transmit=transmit, receive_it=receive, send_string=send_string,
+        handle=huart, errors=uart_errors,
+    )

@@ -1,0 +1,186 @@
+"""LCD-uSD: picture viewer with fade-in / fade-out effects (§6).
+
+"Presents the pictures pre-stored in an SD card with fade-in and
+fade-out visual effects" — six pictures, CPU-drawn (no blitter), each
+shown briefly.  Eleven operations as in Table 1.
+"""
+
+from __future__ import annotations
+
+from ..hw.board import stm32479i_eval
+from ..hw.machine import Machine
+from ..hw.peripherals import GPIO, LTDC, RCC, SDCard
+from ..ir import I8, I32, Module, VOID, array, define, ptr
+from ..partition.operations import OperationSpec
+from .base import Application
+from .hal.display import add_lcd_hal
+from .hal.libc import add_libc
+from .hal.storage import add_sd_hal
+from .hal.system import add_system_hal
+from .lib.fatfs import add_fatfs, make_disk_image
+
+PICTURE_COUNT = 6
+PICTURE_BYTES = 512
+PICTURE_WORDS = PICTURE_BYTES // 4
+
+
+def picture_bytes(index: int) -> bytes:
+    return bytes((index * 53 + 7 * i) & 0xFF for i in range(PICTURE_BYTES))
+
+
+def picture_name(index: int) -> bytes:
+    return f"IMG{index:02d}   ".encode()[:8]
+
+
+def build(pictures: int = PICTURE_COUNT) -> Application:
+    board = stm32479i_eval()
+    module = Module("lcd_usd")
+
+    libc = add_libc(module)
+    system = add_system_hal(module, board)
+    sd = add_sd_hal(module, board)
+    lcd = add_lcd_hal(module, board)
+    fatfs = add_fatfs(module, sd, libc)
+    p32 = ptr(I32)
+
+    sd_fatfs = module.add_global("SDFatFs", fatfs.fatfs_t, source_file="main.c")
+    img_file = module.add_global("ImgFile", fatfs.fil_t, source_file="main.c")
+    img_buffer = module.add_global("img_buffer", array(I8, PICTURE_BYTES),
+                                   source_file="main.c")
+    framebuffer = module.add_global("framebuffer", array(I32, PICTURE_WORDS),
+                                    source_file="main.c")
+    img_names = module.add_global(
+        "img_names", array(I8, 8 * PICTURE_COUNT),
+        list(b"".join(picture_name(i) for i in range(PICTURE_COUNT))),
+        is_const=True, source_file="main.c",
+    )
+    shown = module.add_global("shown", I32, 0, source_file="main.c")
+    brightness = module.add_global("brightness", I32, 8,
+                                   source_file="main.c",
+                                   sanitize_range=(0, 8))
+
+    # -- the ten task entries ---------------------------------------------
+    sd_init_task, b = define(module, "Sd_Init_Task", VOID, [],
+                             source_file="sd_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 11)
+    b.call(sd.init)
+    b.ret_void()
+
+    lcd_init_task, b = define(module, "Lcd_Init_Task", VOID, [],
+                              source_file="lcd_task.c")
+    b.call(system.rcc_enable_apb2, 1 << 26)
+    b.call(lcd.init, b.ptrtoint(b.gep(framebuffer, 0, 0)))
+    b.ret_void()
+
+    mount_task, b = define(module, "Mount_Task", VOID, [],
+                           source_file="fs_task.c")
+    b.call(fatfs.f_mount, sd_fatfs)
+    b.ret_void()
+
+    open_task, b = define(module, "Open_Task", VOID, [I32],
+                          source_file="viewer.c")
+    (index,) = open_task.params
+    name = b.gep(img_names, 0, b.mul(index, 8))
+    b.call(fatfs.f_open, img_file, sd_fatfs, name, 0)
+    b.ret_void()
+
+    read_task, b = define(module, "Read_Task", VOID, [],
+                          source_file="viewer.c")
+    b.call(fatfs.f_read, img_file, sd_fatfs, b.gep(img_buffer, 0, 0),
+           PICTURE_BYTES)
+    b.call(fatfs.f_close, img_file, sd_fatfs)
+    b.ret_void()
+
+    draw_task, b = define(module, "Draw_Task", VOID, [],
+                          source_file="viewer.c")
+    pixels = b.bitcast(b.gep(img_buffer, 0, 0), p32)
+    b.call(lcd.draw_buffer, b.gep(framebuffer, 0, 0), pixels,
+           PICTURE_WORDS)
+    b.ret_void()
+
+    fade_in_task, b = define(module, "FadeIn_Task", VOID, [],
+                             source_file="fade.c")
+    with b.for_range(1, 9) as load_level:
+        level = load_level()
+        b.store(level, brightness)
+        b.call(lcd.fade, b.gep(framebuffer, 0, 0), PICTURE_WORDS,
+               b.load(brightness))
+        b.call(lcd.reload)
+    b.ret_void()
+
+    fade_out_task, b = define(module, "FadeOut_Task", VOID, [],
+                              source_file="fade.c")
+    with b.for_range(0, 8) as load_step:
+        step = load_step()
+        b.store(b.sub(8, b.add(step, 1)), brightness)
+        b.call(lcd.fade, b.gep(framebuffer, 0, 0), PICTURE_WORDS,
+               b.load(brightness))
+        b.call(lcd.reload)
+    b.ret_void()
+
+    show_task, b = define(module, "Show_Task", VOID, [],
+                          source_file="viewer.c")
+    b.call(lcd.reload)
+    b.call(system.delay_loop, 32)  # "displays each picture in a short time"
+    b.store(b.add(b.load(shown), 1), shown)
+    b.ret_void()
+
+    delay_task, b = define(module, "Delay_Task", VOID, [],
+                           source_file="viewer.c")
+    b.call(system.delay_loop, 16)
+    b.ret_void()
+
+    main, b = define(module, "main", I32, [], source_file="main.c")
+    b.call(system.system_clock_config)
+    b.call(system.rcc_enable_gpio, 0xF)
+    b.call(sd_init_task)
+    b.call(lcd_init_task)
+    b.call(mount_task)
+    with b.for_range(0, pictures) as load_i:
+        i = load_i()
+        b.call(open_task, i)
+        b.call(read_task)
+        b.call(draw_task)
+        b.call(fade_in_task)
+        b.call(show_task)
+        b.call(fade_out_task)
+        b.call(delay_task)
+    b.halt(b.load(shown))
+
+    specs = [
+        OperationSpec("Sd_Init_Task"),
+        OperationSpec("Lcd_Init_Task"),
+        OperationSpec("Mount_Task"),
+        OperationSpec("Open_Task"),
+        OperationSpec("Read_Task"),
+        OperationSpec("Draw_Task"),
+        OperationSpec("FadeIn_Task"),
+        OperationSpec("Show_Task"),
+        OperationSpec("FadeOut_Task"),
+        OperationSpec("Delay_Task"),
+    ]
+
+    def setup(machine: Machine) -> None:
+        machine.attach_device("RCC", RCC())
+        for port in ("GPIOA", "GPIOB", "GPIOC", "GPIOD"):
+            machine.attach_device(port, GPIO())
+        files = {picture_name(i): picture_bytes(i) for i in range(pictures)}
+        machine.attach_device("SDIO", SDCard(image=make_disk_image(files)))
+        machine.attach_device("LTDC", LTDC())
+
+    def check(machine: Machine, halt_code: int) -> None:
+        assert halt_code == pictures, f"showed {halt_code}/{pictures}"
+        ltdc = machine.device("LTDC")
+        # Each picture: 8 fade-in reloads + 1 show + 8 fade-out reloads.
+        assert ltdc.frames_shown == pictures * 17
+
+    return Application(
+        name="LCD-uSD",
+        module=module,
+        board=board,
+        specs=specs,
+        setup=setup,
+        check=check,
+        max_instructions=200_000_000,
+        description="6-picture slideshow with fade-in/out effects.",
+    )

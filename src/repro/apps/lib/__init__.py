@@ -1,0 +1,5 @@
+"""Firmware libraries authored in IR: filesystem and network stack."""
+
+from . import fatfs, netstack
+
+__all__ = ["fatfs", "netstack"]

@@ -1,0 +1,356 @@
+"""lwIP-style network stack subset authored in IR.
+
+Source-file structure mirrors lwIP: "inet_chksum.c", "pbuf.c",
+"etharp.c", "ip4.c", "tcp_in.c", "tcp_out.c", "echo.c".  The TCP echo
+application registers its receive callback as a *function pointer* in
+the PCB, so delivering payload data goes through an indirect call —
+the icall the points-to analysis must resolve (Table 3).
+
+Frame layout (network byte order, offsets from the frame start):
+ethernet header 0–13 (ethertype at 12), IPv4 header 14–33 (protocol at
+23, header checksum at 24, addresses at 26/30), TCP header 34–53
+(ports at 34/36, flags at 47), payload from 54.
+"""
+
+from __future__ import annotations
+
+import struct
+from types import SimpleNamespace
+
+from ...ir import (
+    FunctionType,
+    I8,
+    I32,
+    Module,
+    VOID,
+    array,
+    define,
+    ptr,
+)
+
+ETH_HEADER = 14
+IP_HEADER = 20
+TCP_HEADER = 20
+PAYLOAD_OFFSET = ETH_HEADER + IP_HEADER + TCP_HEADER  # 54
+ECHO_PORT = 7
+PBUF_COUNT = 8
+PBUF_PAYLOAD = 256
+FRAME_CAPACITY = 384
+
+
+def add_netstack(module: Module, eth: SimpleNamespace,
+                 libc: SimpleNamespace) -> SimpleNamespace:
+    p8 = ptr(I8)
+    recv_cb_type = FunctionType(VOID, [p8, I32])
+
+    pbuf_t = module.struct("pbuf", [
+        ("in_use", I32), ("len", I32), ("payload", array(I8, PBUF_PAYLOAD)),
+    ])
+    pcb_t = module.struct("tcp_pcb", [
+        ("local_port", I32), ("state", I32),
+        ("recv_cb", ptr(I8)),  # function pointer slot (stored as address)
+        ("rcv_next", I32), ("snd_next", I32),
+    ])
+
+    pbuf_pool = module.add_global("pbuf_pool", array(pbuf_t, PBUF_COUNT),
+                                  source_file="pbuf.c")
+    echo_pcb = module.add_global("echo_pcb", pcb_t, source_file="tcp_in.c")
+    rx_frame = module.add_global("rx_frame", array(I8, FRAME_CAPACITY),
+                                 source_file="netif.c")
+    rx_len = module.add_global("rx_len", I32, 0, source_file="netif.c")
+    tx_frame = module.add_global("tx_frame", array(I8, FRAME_CAPACITY),
+                                 source_file="netif.c")
+    tx_len = module.add_global("tx_len", I32, 0, source_file="netif.c")
+    valid_packets = module.add_global("valid_packets", I32, 0,
+                                      source_file="stats.c")
+    invalid_packets = module.add_global("invalid_packets", I32, 0,
+                                        source_file="stats.c")
+    echoed_bytes = module.add_global("echoed_bytes", I32, 0,
+                                     source_file="stats.c")
+
+    # -- inet_chksum.c ---------------------------------------------------
+    checksum16, b = define(module, "inet_chksum", I32, [p8, I32],
+                           source_file="inet_chksum.c")
+    data, length = checksum16.params
+    total = b.alloca(I32, name="sum")
+    b.store(0, total)
+    pairs = b.udiv(length, 2)
+    with b.for_range(0, pairs) as load_i:
+        i = load_i()
+        hi = b.zext(b.load(b.gep(data, b.mul(i, 2))))
+        lo = b.zext(b.load(b.gep(data, b.add(b.mul(i, 2), 1))))
+        word = b.or_(b.shl(hi, 8), lo)
+        b.store(b.add(b.load(total), word), total)
+    # Fold carries twice, then complement.
+    folded = b.add(b.and_(b.load(total), 0xFFFF), b.lshr(b.load(total), 16))
+    folded2 = b.add(b.and_(folded, 0xFFFF), b.lshr(folded, 16))
+    b.ret(b.and_(b.xor(folded2, 0xFFFFFFFF), 0xFFFF))
+
+    # -- pbuf.c -------------------------------------------------------------
+    pbuf_alloc, b = define(module, "pbuf_alloc", I32, [],
+                           source_file="pbuf.c")
+    with b.for_range(0, PBUF_COUNT) as load_i:
+        i = load_i()
+        slot = b.gep(pbuf_pool, 0, i, 0)
+        free = b.icmp("eq", b.load(slot), 0)
+        with b.if_then(free):
+            b.store(1, slot)
+            b.ret(i)
+    b.ret(0xFFFFFFFF)
+
+    pbuf_free, b = define(module, "pbuf_free", VOID, [I32],
+                          source_file="pbuf.c")
+    (index,) = pbuf_free.params
+    b.store(0, b.gep(pbuf_pool, 0, index, 0))
+    b.ret_void()
+
+    # -- helpers over byte buffers ------------------------------------------
+    get16, b = define(module, "net_get16", I32, [p8, I32],
+                      source_file="inet_chksum.c")
+    buffer, offset = get16.params
+    hi = b.zext(b.load(b.gep(buffer, offset)))
+    lo = b.zext(b.load(b.gep(buffer, b.add(offset, 1))))
+    b.ret(b.or_(b.shl(hi, 8), lo))
+
+    put16, b = define(module, "net_put16", VOID, [p8, I32, I32],
+                      source_file="inet_chksum.c")
+    buffer, offset, value = put16.params
+    b.store(b.trunc(b.lshr(value, 8)), b.gep(buffer, offset))
+    b.store(b.trunc(value), b.gep(buffer, b.add(offset, 1)))
+    b.ret_void()
+
+    swap_bytes, b = define(module, "net_swap", VOID, [p8, I32, I32, I32],
+                           source_file="etharp.c")
+    buffer, off_a, off_b, count = swap_bytes.params
+    with b.for_range(0, count) as load_i:
+        i = load_i()
+        pa = b.gep(buffer, b.add(off_a, i))
+        pb_ = b.gep(buffer, b.add(off_b, i))
+        va = b.load(pa)
+        vb = b.load(pb_)
+        b.store(vb, pa)
+        b.store(va, pb_)
+    b.ret_void()
+
+    oversize_drops = module.add_global("oversize_drops", I32, 0,
+                                       source_file="echo.c")
+
+    # -- echo.c: the application receive callback (icall target) -----------
+    echo_recv, b = define(module, "echo_recv", VOID, [p8, I32],
+                          source_file="echo.c")
+    payload, raw_length = echo_recv.params
+    # Clamp to the pbuf payload capacity: a giant segment must never
+    # overflow the pool (real lwIP would chain pbufs here).
+    too_big = b.icmp("ugt", raw_length, PBUF_PAYLOAD)
+    with b.if_then(too_big):
+        b.store(b.add(b.load(oversize_drops), 1), oversize_drops)
+    length = b.select(too_big, PBUF_PAYLOAD, raw_length)
+    index = b.call(pbuf_alloc, name="pb")
+    ok = b.icmp("ne", index, 0xFFFFFFFF)
+    with b.if_then(ok):
+        dest = b.gep(pbuf_pool, 0, index, 2, 0)
+        b.call(libc.memcpy, dest, payload, length)
+        b.store(length, b.gep(pbuf_pool, 0, index, 1))
+        # Stage the echo payload into the TX frame.
+        b.call(libc.memcpy,
+               b.gep(tx_frame, 0, PAYLOAD_OFFSET), dest, length)
+        b.store(b.add(b.load(echoed_bytes), length), echoed_bytes)
+        b.call(pbuf_free, index)
+    b.ret_void()
+
+    # -- tcp_out.c: build the echo reply from the received frame -----------
+    tcp_output, b = define(module, "tcp_output", VOID, [I32],
+                           source_file="tcp_out.c")
+    (payload_len,) = tcp_output.params
+    src = b.gep(rx_frame, 0, 0)
+    dst = b.gep(tx_frame, 0, 0)
+    # Copy headers, then swap MACs, IPs, and ports for the return path.
+    b.call(libc.memcpy, dst, src, PAYLOAD_OFFSET)
+    b.call(swap_bytes, dst, 0, 6, 6)          # ethernet addresses
+    b.call(swap_bytes, dst, 26, 30, 4)        # IP addresses
+    b.call(swap_bytes, dst, 34, 36, 2)        # TCP ports
+    # Acknowledge what was received: ack = seq + payload_len.
+    seq_hi = b.call(get16, dst, 38)
+    seq_lo = b.call(get16, dst, 40)
+    seq = b.or_(b.shl(seq_hi, 16), seq_lo)
+    ack = b.add(seq, payload_len)
+    b.call(put16, dst, 42, b.lshr(ack, 16))
+    b.call(put16, dst, 44, b.and_(ack, 0xFFFF))
+    # Refresh the IP header checksum.
+    b.call(put16, dst, 24, 0)
+    check = b.call(checksum16, b.gep(tx_frame, 0, ETH_HEADER), IP_HEADER)
+    b.call(put16, dst, 24, check)
+    b.store(b.add(PAYLOAD_OFFSET, payload_len), tx_len)
+    b.ret_void()
+
+    # -- tcp_in.c --------------------------------------------------------------
+    tcp_input, b = define(module, "tcp_input", I32, [I32],
+                          source_file="tcp_in.c")
+    (total_len,) = tcp_input.params
+    frame = b.gep(rx_frame, 0, 0)
+    dst_port = b.call(get16, frame, 36)
+    wrong_port = b.icmp("ne", dst_port, b.load(b.gep(echo_pcb, 0, 0)))
+    with b.if_then(wrong_port):
+        b.ret(0)
+    payload_len = b.sub(total_len, PAYLOAD_OFFSET)
+    has_payload = b.icmp("ugt", payload_len, 0)
+    with b.if_then(has_payload):
+        callback = b.load(b.gep(echo_pcb, 0, 2))
+        b.store(b.add(b.load(b.gep(echo_pcb, 0, 3)), payload_len),
+                b.gep(echo_pcb, 0, 3))
+        b.icall(b.ptrtoint(callback), recv_cb_type,
+                b.gep(rx_frame, 0, PAYLOAD_OFFSET), payload_len)
+        b.call(tcp_output, payload_len)
+    b.ret(1)
+
+    # -- icmp.c: a second transport handler for the dispatch table ------
+    icmp_input, b = define(module, "icmp_input", I32, [I32],
+                           source_file="icmp.c")
+    (_total_len,) = icmp_input.params
+    # Echo-request handling would go here; the profile only counts it.
+    b.ret(0)
+
+    # -- ip4.c -------------------------------------------------------------------
+    # lwIP dispatches transports through a protocol table; the lookup
+    # makes every delivered packet an indirect call with two possible
+    # targets (the icall multiplicity of Table 3).
+    proto_fn_t = FunctionType(I32, [I32])
+    proto_handlers = module.add_global("ip_proto_handlers",
+                                       array(ptr(I8), 2),
+                                       source_file="ip4.c")
+
+    ip_input, b = define(module, "ip_input", I32, [I32],
+                         source_file="ip4.c")
+    (total_len,) = ip_input.params
+    frame = b.gep(rx_frame, 0, 0)
+    version = b.lshr(b.zext(b.load(b.gep(frame, ETH_HEADER))), 4)
+    with b.if_then(b.icmp("ne", version, 4)):
+        b.ret(0)
+    proto = b.zext(b.load(b.gep(frame, 23)))
+    is_tcp = b.icmp("eq", proto, 6)
+    is_icmp = b.icmp("eq", proto, 1)
+    with b.if_then(b.icmp("eq", b.or_(is_tcp, is_icmp), 0)):
+        b.ret(0)  # unsupported transport (UDP removed, §6.5)
+    check = b.call(checksum16, b.gep(rx_frame, 0, ETH_HEADER), IP_HEADER)
+    with b.if_then(b.icmp("ne", check, 0)):
+        b.ret(0)
+    slot = b.select(is_tcp, 1, 0)
+    handler = b.load(b.gep(proto_handlers, 0, slot))
+    b.ret(b.icall(b.ptrtoint(handler), proto_fn_t, total_len))
+
+    # -- etharp.c ------------------------------------------------------------------
+    eth_input, b = define(module, "ethernet_input", I32, [I32],
+                          source_file="etharp.c")
+    (total_len,) = eth_input.params
+    frame = b.gep(rx_frame, 0, 0)
+    ethertype = b.call(get16, frame, 12)
+    is_ip = b.icmp("eq", ethertype, 0x0800)
+    with b.if_else(is_ip) as otherwise:
+        b.ret(b.call(ip_input, total_len))
+        otherwise()
+        b.ret(0)
+    b.unreachable()
+
+    # -- timeouts.c: the periodic housekeeping callback ------------------
+    timer_fn_t = FunctionType(VOID, [])
+    timer_cb = module.add_global("tcp_timer_cb", ptr(I8),
+                                 source_file="timeouts.c")
+
+    slow_timer, b = define(module, "tcp_slow_timer", VOID, [],
+                           source_file="timeouts.c")
+    # Age out leaked pbufs, like lwIP's slow timer sweeping its pools.
+    with b.for_range(0, PBUF_COUNT) as load_i:
+        i = load_i()
+        in_use = b.load(b.gep(pbuf_pool, 0, i, 0))
+        leaked = b.icmp("ugt", in_use, 1)
+        with b.if_then(leaked):
+            b.store(0, b.gep(pbuf_pool, 0, i, 0))
+    b.ret_void()
+
+    run_timers, b = define(module, "sys_check_timeouts", VOID, [],
+                           source_file="timeouts.c")
+    handler = b.load(timer_cb)
+    b.icall(b.ptrtoint(handler), timer_fn_t)
+    b.ret_void()
+
+    # -- stack init ("tcp.c") -----------------------------------------------------
+    stack_init, b = define(module, "tcp_echo_init", VOID, [],
+                           source_file="tcp.c")
+    b.store(ECHO_PORT, b.gep(echo_pcb, 0, 0))
+    b.store(1, b.gep(echo_pcb, 0, 1))  # LISTEN
+    b.store(b.inttoptr(b.ptrtoint(echo_recv), I8),
+            b.gep(echo_pcb, 0, 2))
+    b.store(0, b.gep(echo_pcb, 0, 3))
+    b.store(0, b.gep(echo_pcb, 0, 4))
+    b.store(b.inttoptr(b.ptrtoint(icmp_input), I8),
+            b.gep(proto_handlers, 0, 0))
+    b.store(b.inttoptr(b.ptrtoint(tcp_input), I8),
+            b.gep(proto_handlers, 0, 1))
+    b.store(b.inttoptr(b.ptrtoint(slow_timer), I8), timer_cb)
+    with b.for_range(0, PBUF_COUNT) as load_i:
+        b.store(0, b.gep(pbuf_pool, 0, load_i(), 0))
+    b.ret_void()
+
+    return SimpleNamespace(
+        pbuf_t=pbuf_t, pcb_t=pcb_t,
+        checksum16=checksum16, pbuf_alloc=pbuf_alloc, pbuf_free=pbuf_free,
+        get16=get16, put16=put16, swap_bytes=swap_bytes,
+        echo_recv=echo_recv, tcp_output=tcp_output, tcp_input=tcp_input,
+        icmp_input=icmp_input, ip_input=ip_input, eth_input=eth_input,
+        stack_init=stack_init, slow_timer=slow_timer,
+        run_timers=run_timers,
+        globals=SimpleNamespace(
+            pbuf_pool=pbuf_pool, echo_pcb=echo_pcb, rx_frame=rx_frame,
+            rx_len=rx_len, tx_frame=tx_frame, tx_len=tx_len,
+            valid_packets=valid_packets, invalid_packets=invalid_packets,
+            echoed_bytes=echoed_bytes,
+        ),
+    )
+
+
+# -- host-side frame builders ---------------------------------------------------
+
+
+def _ip_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def make_tcp_frame(payload: bytes, *, dst_port: int = ECHO_PORT,
+                   seq: int = 0x1000, corrupt_checksum: bool = False,
+                   protocol: int = 6, ethertype: int = 0x0800) -> bytes:
+    """Craft an ethernet/IPv4/TCP frame as the desktop client would."""
+    eth = bytes.fromhex("0202030405060A0B0C0D0E0F") + struct.pack(
+        ">H", ethertype
+    )
+    total_ip = IP_HEADER + TCP_HEADER + len(payload)
+    ip = bytearray(struct.pack(
+        ">BBHHHBBH4s4s",
+        0x45, 0, total_ip, 0x1234, 0, 64, protocol, 0,
+        bytes([192, 168, 1, 100]), bytes([192, 168, 1, 10]),
+    ))
+    checksum = _ip_checksum(bytes(ip))
+    if corrupt_checksum:
+        checksum ^= 0x5555
+    struct.pack_into(">H", ip, 10, checksum)
+    tcp = struct.pack(
+        ">HHIIBBHHH", 0xC000, dst_port, seq, 0, 0x50, 0x18, 0x2000, 0, 0
+    )
+    return eth + bytes(ip) + tcp + payload
+
+
+def parse_reply(frame: bytes) -> dict:
+    """Parse an echoed frame for test assertions."""
+    return {
+        "dst_mac": frame[0:6],
+        "src_mac": frame[6:12],
+        "src_ip": frame[26:30],
+        "dst_ip": frame[30:34],
+        "src_port": struct.unpack(">H", frame[34:36])[0],
+        "dst_port": struct.unpack(">H", frame[36:38])[0],
+        "payload": frame[PAYLOAD_OFFSET:],
+    }

@@ -1,0 +1,60 @@
+"""Comparator builds: the vanilla baseline and ACES (§6.4).
+
+The vanilla build lives in :mod:`repro.image.layout` /
+:func:`repro.pipeline.build_vanilla`; this package adds the ACES
+reimplementation plus a convenience pipeline mirror of
+:func:`repro.pipeline.build_opec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.andersen import run_andersen
+from ..analysis.resources import ResourceAnalysis
+from ..hw.board import Board
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from .aces import (
+    AcesImage,
+    AcesRuntime,
+    Compartment,
+    RegionAssignment,
+    assign_regions,
+    build_aces_image,
+    partition_aces,
+)
+
+
+@dataclass
+class AcesArtifacts:
+    """Everything an ACES build produced."""
+
+    module: Module
+    board: Board
+    strategy: str
+    compartments: list[Compartment]
+    assignment: RegionAssignment
+    image: AcesImage
+
+
+def build_aces(module: Module, board: Board, strategy: str,
+               *, verify: bool = True, stack_size: int = 16 * 1024,
+               heap_size: int = 8 * 1024) -> AcesArtifacts:
+    """Run the ACES pipeline under one of the three strategies."""
+    if verify:
+        verify_module(module)
+    andersen = run_andersen(module)
+    resources = ResourceAnalysis(module, board, andersen)
+    compartments = partition_aces(module, resources, strategy)
+    assignment = assign_regions(compartments, module.writable_globals())
+    image = build_aces_image(module, board, compartments, assignment,
+                             strategy, stack_size=stack_size,
+                             heap_size=heap_size)
+    return AcesArtifacts(
+        module=module, board=board, strategy=strategy,
+        compartments=compartments, assignment=assignment, image=image,
+    )
+
+
+__all__ = ["AcesArtifacts", "build_aces", "AcesImage", "AcesRuntime"]

@@ -1,0 +1,25 @@
+"""ACES baseline (USENIX Security '18): the comparator of §6.4."""
+
+from .compartments import (
+    ALL_STRATEGIES,
+    Compartment,
+    STRATEGY_FILENAME,
+    STRATEGY_FILENAME_NO_OPT,
+    STRATEGY_PERIPHERAL,
+    compartment_of,
+    partition_aces,
+    partition_by_filename,
+    partition_by_peripheral,
+)
+from .image import AcesImage, build_aces_image
+from .regions import MAX_DATA_REGIONS, RegionAssignment, VarGroup, assign_regions
+from .runtime import AcesRuntime
+
+__all__ = [
+    "ALL_STRATEGIES", "Compartment", "STRATEGY_FILENAME",
+    "STRATEGY_FILENAME_NO_OPT", "STRATEGY_PERIPHERAL", "compartment_of",
+    "partition_aces", "partition_by_filename", "partition_by_peripheral",
+    "AcesImage", "build_aces_image",
+    "MAX_DATA_REGIONS", "RegionAssignment", "VarGroup", "assign_regions",
+    "AcesRuntime",
+]

@@ -1,0 +1,143 @@
+"""ACES compartmentalisation strategies (USENIX Security '18, §6.4).
+
+ACES partitions *code* into compartments by a compartmentalisation
+policy; the paper's comparison (§6.4) uses three:
+
+* **ACES1** — "filename": one compartment per source file, then the
+  optimisation pass merges the most chatty compartment pairs to reduce
+  switch overhead (coarser isolation, fewer switches);
+* **ACES2** — "filename without optimisation": one compartment per
+  source file, unmerged;
+* **ACES3** — "peripheral": functions grouped by the set of
+  peripherals they access.
+
+A compartment that needs core (PPB) peripherals is *lifted to the
+privileged level* — the behaviour OPEC criticises and Table 2's PAC
+column quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...analysis.resources import FunctionResources, ResourceAnalysis
+from ...ir.function import Function
+from ...ir.instructions import Call
+from ...ir.module import Module
+
+STRATEGY_FILENAME = "ACES1"
+STRATEGY_FILENAME_NO_OPT = "ACES2"
+STRATEGY_PERIPHERAL = "ACES3"
+ALL_STRATEGIES = (STRATEGY_FILENAME, STRATEGY_FILENAME_NO_OPT,
+                  STRATEGY_PERIPHERAL)
+
+
+@dataclass
+class Compartment:
+    """One ACES code compartment."""
+
+    index: int
+    name: str
+    functions: set[Function]
+    resources: FunctionResources = field(default_factory=FunctionResources)
+    privileged: bool = False
+
+    def code_bytes(self) -> int:
+        from ...image.layout import function_code_size
+
+        return sum(function_code_size(f) for f in self.functions
+                   if not f.is_declaration)
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __repr__(self) -> str:
+        return f"<Compartment {self.index} {self.name}: {len(self.functions)} funcs>"
+
+
+def _merge_resources(functions: set[Function],
+                     resources: ResourceAnalysis) -> FunctionResources:
+    merged = FunctionResources()
+    for func in functions:
+        merged.merge(resources.function_resources(func))
+    return merged
+
+
+def _finalize(groups: dict[str, set[Function]],
+              resources: ResourceAnalysis) -> list[Compartment]:
+    compartments = []
+    for index, (name, funcs) in enumerate(sorted(groups.items())):
+        compartment = Compartment(index=index, name=name, functions=funcs)
+        compartment.resources = _merge_resources(funcs, resources)
+        compartment.privileged = bool(compartment.resources.core_peripherals)
+        compartments.append(compartment)
+    return compartments
+
+
+def partition_by_filename(module: Module, resources: ResourceAnalysis,
+                          optimize: bool = False) -> list[Compartment]:
+    """ACES1/ACES2: group by ``source_file``; optionally merge."""
+    groups: dict[str, set[Function]] = {}
+    for func in module.defined_functions():
+        key = func.source_file or "unknown.c"
+        groups.setdefault(key, set()).add(func)
+    if optimize:
+        groups = _merge_chatty(module, groups)
+    return _finalize(groups, resources)
+
+
+def _merge_chatty(module: Module,
+                  groups: dict[str, set[Function]]) -> dict[str, set[Function]]:
+    """ACES' optimisation: merge the compartment pairs with the most
+    cross-compartment call edges until the count halves."""
+    groups = {k: set(v) for k, v in groups.items()}
+    target = max(2, (len(groups) + 1) // 2)
+    while len(groups) > target:
+        owner = {f: name for name, funcs in groups.items() for f in funcs}
+        edge_count: dict[tuple[str, str], int] = {}
+        for func in module.defined_functions():
+            for inst in func.iter_instructions():
+                if isinstance(inst, Call):
+                    src = owner.get(func)
+                    dst = owner.get(inst.callee)
+                    if src is None or dst is None or src == dst:
+                        continue
+                    key = tuple(sorted((src, dst)))
+                    edge_count[key] = edge_count.get(key, 0) + 1
+        if not edge_count:
+            break
+        (a, name_b), _ = max(edge_count.items(), key=lambda kv: (kv[1], kv[0]))
+        groups[a] |= groups.pop(name_b)
+    return groups
+
+
+def partition_by_peripheral(module: Module,
+                            resources: ResourceAnalysis) -> list[Compartment]:
+    """ACES3: group functions by the peripheral set they touch."""
+    groups: dict[str, set[Function]] = {}
+    for func in module.defined_functions():
+        res = resources.function_resources(func)
+        names = sorted(p.name for p in res.peripherals)
+        key = "periph:" + "+".join(names) if names else "periph:none"
+        groups.setdefault(key, set()).add(func)
+    return _finalize(groups, resources)
+
+
+def partition_aces(module: Module, resources: ResourceAnalysis,
+                   strategy: str) -> list[Compartment]:
+    """Dispatch on the strategy name used throughout §6.4."""
+    if strategy == STRATEGY_FILENAME:
+        return partition_by_filename(module, resources, optimize=True)
+    if strategy == STRATEGY_FILENAME_NO_OPT:
+        return partition_by_filename(module, resources, optimize=False)
+    if strategy == STRATEGY_PERIPHERAL:
+        return partition_by_peripheral(module, resources)
+    raise ValueError(f"unknown ACES strategy {strategy!r}")
+
+
+def compartment_of(compartments: list[Compartment],
+                   func: Function) -> Compartment | None:
+    for compartment in compartments:
+        if func in compartment.functions:
+            return compartment
+    return None

@@ -1,0 +1,101 @@
+"""ACES data-region assignment under the MPU limit (§3.1, Figure 3).
+
+ACES places global variables in memory regions and lets each
+compartment map at most :data:`MAX_DATA_REGIONS` of them.  Variables
+start in *natural* groups — one group per distinct accessor set — and
+whenever a compartment needs more groups than it has MPU slots, its two
+smallest groups are merged.  A merged group is accessible to the
+**union** of the original accessors, which grants some compartments
+variables they never needed: the partition-time over-privilege OPEC's
+shadowing eliminates (the PT metric of Figure 10 measures exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...ir.values import GlobalVariable
+from ...partition.policy import _padded
+from .compartments import Compartment
+
+# ACES spends its eight MPU regions on the default maps, the
+# compartment's code, the stack, and a peripheral window before data;
+# two data regions per compartment is the budget that remains in its
+# tightest configurations.  Our IR workloads also carry roughly an
+# order of magnitude fewer globals than the paper's vendor-HAL
+# firmwares, so this scaled budget reproduces the merge pressure (and
+# hence the Figure 3 over-privilege) the paper measures at full scale.
+MAX_DATA_REGIONS = 2
+
+
+@dataclass
+class VarGroup:
+    """One mergeable region of global variables."""
+
+    variables: list[GlobalVariable]
+    accessors: set[Compartment]
+
+    def byte_size(self) -> int:
+        return sum(_padded(v.size) for v in self.variables)
+
+    def merge(self, other: "VarGroup") -> None:
+        self.variables.extend(other.variables)
+        self.accessors |= other.accessors
+
+
+@dataclass
+class RegionAssignment:
+    """The final variable-to-region mapping for one ACES build."""
+
+    groups: list[VarGroup] = field(default_factory=list)
+
+    def groups_of(self, compartment: Compartment) -> list[VarGroup]:
+        return [g for g in self.groups if compartment in g.accessors]
+
+    def accessible_vars(self, compartment: Compartment) -> set[GlobalVariable]:
+        accessible: set[GlobalVariable] = set()
+        for group in self.groups_of(compartment):
+            accessible.update(group.variables)
+        return accessible
+
+    def accessible_bytes(self, compartment: Compartment) -> int:
+        return sum(g.byte_size() for g in self.groups_of(compartment))
+
+
+def assign_regions(compartments: list[Compartment],
+                   writable_globals: list[GlobalVariable],
+                   max_regions: int = MAX_DATA_REGIONS) -> RegionAssignment:
+    """Group variables, then merge until every compartment fits."""
+    natural: dict[frozenset[int], VarGroup] = {}
+    for gvar in writable_globals:
+        accessors = frozenset(
+            c.index for c in compartments
+            if gvar in c.resources.globals_all
+        )
+        if not accessors:
+            continue  # untouched globals live outside compartment regions
+        if accessors in natural:
+            natural[accessors].variables.append(gvar)
+        else:
+            by_index = {c.index: c for c in compartments}
+            natural[accessors] = VarGroup(
+                variables=[gvar],
+                accessors={by_index[i] for i in accessors},
+            )
+    assignment = RegionAssignment(groups=list(natural.values()))
+
+    # Merge until every compartment maps at most `max_regions` groups.
+    changed = True
+    while changed:
+        changed = False
+        for compartment in compartments:
+            groups = assignment.groups_of(compartment)
+            if len(groups) <= max_regions:
+                continue
+            groups.sort(key=lambda g: g.byte_size())
+            smaller, larger = groups[0], groups[1]
+            larger.merge(smaller)
+            assignment.groups.remove(smaller)
+            changed = True
+            break
+    return assignment

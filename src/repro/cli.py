@@ -1,0 +1,195 @@
+"""Command-line front end.
+
+Usage (``python -m repro.cli <command>``):
+
+* ``list`` — the available workloads;
+* ``build APP [--policy FILE]`` — run the OPEC-Compiler pipeline,
+  print the partition, optionally write the §4.3 policy file;
+* ``run APP [--build vanilla|opec|ACES1|ACES2|ACES3]`` — run a build
+  on the simulator and report cycles/overhead;
+* ``eval TARGET`` — regenerate a table/figure (or ``all``);
+* ``attack`` — the PinLock §6.1 case-study demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_list(_args) -> int:
+    from .apps import ACES_APPS, ALL_APPS
+
+    for name in ALL_APPS:
+        tag = " (ACES comparison app)" if name in ACES_APPS else ""
+        print(f"{name}{tag}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .eval.workloads import build_app, opec_artifacts
+    from .image.policyfile import write_policy
+
+    app = build_app(args.app, profile=args.profile)
+    artifacts = opec_artifacts(args.app, profile=args.profile)
+    print(f"{app.name}: {len(artifacts.operations)} operations on "
+          f"{app.board.name}")
+    for op in artifacts.operations:
+        kind = "default" if op.is_default else "entry"
+        print(f"  [{op.index}] {op.name:20s} ({kind}) "
+              f"functions={len(op.functions):3d} "
+              f"globals={len(op.accessible_globals):3d} "
+              f"windows={len(op.windows)}")
+    print(f"flash: monitor={artifacts.image.monitor_code_bytes}B "
+          f"metadata={artifacts.image.metadata_bytes}B "
+          f"svc-stubs={artifacts.image.instrumentation_bytes}B")
+    if args.policy:
+        write_policy(artifacts.image, args.policy)
+        print(f"policy file written to {args.policy}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .eval.workloads import build_app, run_build
+
+    result = run_build(args.app, args.build, profile=args.profile)
+    print(f"{args.app} [{args.build}] halt={result.halt_code} "
+          f"cycles={result.cycles}")
+    if args.build != "vanilla":
+        baseline = run_build(args.app, "vanilla", profile=args.profile)
+        overhead = result.cycles / baseline.cycles - 1
+        print(f"runtime overhead vs vanilla: {overhead:.3%}")
+    stats = result.machine.stats
+    print(f"svc={stats.svc_calls} memmanage={stats.memmanage_faults} "
+          f"region-swaps={stats.peripheral_region_switches} "
+          f"core-emulations={stats.emulated_core_accesses}")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from .eval import figure9, figure10, figure11, table1, table2, table3
+    from .eval.report_all import main as report_all
+
+    targets = {
+        "table1": table1, "table2": table2, "table3": table3,
+        "figure9": figure9, "figure10": figure10, "figure11": figure11,
+    }
+    if args.target == "all":
+        report_all()
+        return 0
+    module = targets[args.target]
+    if hasattr(module, "compute_table"):
+        print(module.render(module.compute_table()))
+    else:
+        print(module.render(module.compute_figure()))
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    from .eval.workloads import build_app
+    from .ir import print_function, print_module
+
+    app = build_app(args.app, profile="quick")
+    if args.function:
+        print(print_function(app.module.get_function(args.function)))
+    else:
+        text = print_module(app.module)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output} "
+                  f"({len(text.splitlines())} lines of OPEC-IR)")
+        else:
+            print(text)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .eval.profiler import profile_image
+    from .eval.workloads import build_app, opec_artifacts
+    from .pipeline import build_vanilla
+
+    app = build_app(args.app, profile=args.profile)
+    if args.build == "opec":
+        image = opec_artifacts(args.app, profile=args.profile).image
+    else:
+        image = build_vanilla(app.module, app.board)
+    profile = profile_image(image, setup=app.setup,
+                            max_instructions=app.max_instructions)
+    print(profile.render(args.top))
+    return 0
+
+
+def _cmd_attack(_args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / \
+        "pinlock_attack.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    # Installed without the examples tree: run the core of the demo.
+    from examples import pinlock_attack  # pragma: no cover
+
+    pinlock_attack.main()  # pragma: no cover
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OPEC reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(
+        func=_cmd_list)
+
+    build = sub.add_parser("build", help="run the OPEC-Compiler pipeline")
+    build.add_argument("app")
+    build.add_argument("--policy", help="write the policy file here")
+    build.add_argument("--profile", default="quick",
+                       choices=["quick", "paper"])
+    build.set_defaults(func=_cmd_build)
+
+    run = sub.add_parser("run", help="run a build on the simulator")
+    run.add_argument("app")
+    run.add_argument("--build", default="opec",
+                     choices=["vanilla", "opec", "ACES1", "ACES2", "ACES3"])
+    run.add_argument("--profile", default="quick",
+                     choices=["quick", "paper"])
+    run.set_defaults(func=_cmd_run)
+
+    ev = sub.add_parser("eval", help="regenerate a table/figure")
+    ev.add_argument("target",
+                    choices=["table1", "table2", "table3", "figure9",
+                             "figure10", "figure11", "all"])
+    ev.set_defaults(func=_cmd_eval)
+
+    dump = sub.add_parser("dump", help="print a workload as OPEC-IR text")
+    dump.add_argument("app")
+    dump.add_argument("--function", help="print just this function")
+    dump.add_argument("--output", help="write to a .oir file")
+    dump.set_defaults(func=_cmd_dump)
+
+    prof = sub.add_parser("profile", help="per-function cycle profile")
+    prof.add_argument("app")
+    prof.add_argument("--build", default="vanilla",
+                      choices=["vanilla", "opec"])
+    prof.add_argument("--profile", default="quick",
+                      choices=["quick", "paper"])
+    prof.add_argument("--top", type=int, default=15)
+    prof.set_defaults(func=_cmd_profile)
+
+    sub.add_parser("attack", help="PinLock case-study demo").set_defaults(
+        func=_cmd_attack)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Export evaluation results to files (text report + TSV data series).
+
+``python -m repro.eval.export [output_dir]`` regenerates every table
+and figure and writes:
+
+* ``<target>.txt`` — the rendered text (what the console prints);
+* ``<target>.tsv`` — machine-readable rows for plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from . import figure9, figure10, figure11, table1, table2, table3
+
+
+def _tsv(rows: list[list[object]]) -> str:
+    return "\n".join("\t".join(str(c) for c in row) for row in rows) + "\n"
+
+
+def export_all(output_dir: str) -> list[str]:
+    os.makedirs(output_dir, exist_ok=True)
+    written: list[str] = []
+
+    def save(name: str, text: str, rows: list[list[object]]) -> None:
+        text_path = os.path.join(output_dir, f"{name}.txt")
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        tsv_path = os.path.join(output_dir, f"{name}.tsv")
+        with open(tsv_path, "w", encoding="utf-8") as handle:
+            handle.write(_tsv(rows))
+        written.extend([text_path, tsv_path])
+
+    t1 = table1.compute_table()
+    save("table1", table1.render(t1), [
+        ["app", "ops", "avg_funcs", "pri_code", "pri_pct",
+         "avg_gvars", "avg_gvars_pct"],
+        *[[r.app, r.operations, f"{r.avg_functions:.2f}",
+           r.privileged_code, f"{r.privileged_pct:.2f}",
+           f"{r.avg_gvars:.2f}", f"{r.avg_gvars_pct:.2f}"] for r in t1],
+    ])
+
+    f9 = figure9.compute_figure()
+    save("figure9", figure9.render(f9), [
+        ["app", "runtime_pct", "flash_pct", "sram_pct"],
+        *[[r.app, f"{r.runtime_pct:.4f}", f"{r.flash_pct:.3f}",
+           f"{r.sram_pct:.3f}"] for r in f9],
+    ])
+
+    t2 = table2.compute_table()
+    save("table2", table2.render(t2), [
+        ["app", "policy", "ro_x", "fo_pct", "so_pct", "pac_pct"],
+        *[[r.app, r.policy, f"{r.runtime_ratio:.3f}",
+           f"{r.flash_pct:.3f}", f"{r.sram_pct:.3f}",
+           f"{r.privileged_app_pct:.2f}"] for r in t2],
+    ])
+
+    f10 = figure10.compute_figure()
+    rows10: list[list[object]] = [["app", "policy",
+                                   *(f"pt<={t}" for t in figure10.THRESHOLDS)]]
+    for entry in f10:
+        for policy in (*figure10.ALL_STRATEGIES, "OPEC"):
+            rows10.append([entry.app, policy,
+                           *(f"{v:.3f}" for v in entry.cumulative(policy))])
+    save("figure10", figure10.render(f10), rows10)
+
+    f11 = figure11.compute_figure()
+    rows11: list[list[object]] = [["app", "policy", "task", "et"]]
+    for entry in f11:
+        for policy, values in entry.et.items():
+            for task, value in zip(entry.tasks, values):
+                rows11.append([entry.app, policy, task, f"{value:.3f}"])
+    save("figure11", figure11.render(f11), rows11)
+
+    t3 = table3.compute_table()
+    save("table3", table3.render(t3), [
+        ["app", "icalls", "svf", "time_s", "type", "avg", "max"],
+        *[[r.app, r.icalls, r.svf_resolved, f"{r.solve_time_s:.3f}",
+           r.type_resolved, f"{r.avg_targets:.2f}", r.max_targets]
+          for r in t3],
+    ])
+    return written
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    for path in export_all(output_dir):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

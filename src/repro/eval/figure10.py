@@ -1,0 +1,95 @@
+"""Figure 10: cumulative ratio of the PT (partition-time
+over-privilege) value per compartment, for the three ACES strategies
+on the five shared applications (§6.4).
+
+OPEC's PT is zero for every operation by construction (verified here
+too): an operation's data section contains exactly the variables it
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps import ACES_APPS
+from ..baselines.aces.compartments import ALL_STRATEGIES
+from .metrics import cumulative_ratio, pt_value
+from .report import render_table
+from .workloads import aces_artifacts, opec_artifacts
+
+THRESHOLDS = [round(0.1 * i, 1) for i in range(11)]
+
+
+@dataclass
+class Figure10Data:
+    app: str
+    pt_values: dict[str, list[float]] = field(default_factory=dict)
+
+    def cumulative(self, strategy: str) -> list[float]:
+        return cumulative_ratio(self.pt_values[strategy], THRESHOLDS)
+
+
+def aces_pt_values(name: str, strategy: str) -> list[float]:
+    artifacts = aces_artifacts(name, strategy)
+    values = []
+    for compartment in artifacts.compartments:
+        accessible = {
+            v for v in artifacts.assignment.accessible_vars(compartment)
+            if not v.is_const
+        }
+        needed = {
+            v for v in compartment.resources.globals_all if not v.is_const
+        }
+        values.append(pt_value(accessible, needed))
+    return values
+
+
+def opec_pt_values(name: str) -> list[float]:
+    artifacts = opec_artifacts(name)
+    policy = artifacts.policy
+    values = []
+    for operation in artifacts.operations:
+        accessible = {
+            v for v in policy.section_vars(operation) if not v.is_const
+        }
+        needed = {
+            v for v in operation.resources.globals_all if not v.is_const
+        }
+        values.append(pt_value(accessible, needed))
+    return values
+
+
+def compute_figure(apps: tuple[str, ...] = ACES_APPS) -> list[Figure10Data]:
+    data = []
+    for name in apps:
+        entry = Figure10Data(app=name)
+        for strategy in ALL_STRATEGIES:
+            entry.pt_values[strategy] = aces_pt_values(name, strategy)
+        entry.pt_values["OPEC"] = opec_pt_values(name)
+        data.append(entry)
+    return data
+
+
+def render(data: list[Figure10Data]) -> str:
+    blocks = []
+    for entry in data:
+        rows = []
+        for strategy in (*ALL_STRATEGIES, "OPEC"):
+            series = entry.cumulative(strategy)
+            rows.append(
+                (strategy, *(f"{v:.2f}" for v in series))
+            )
+        blocks.append(render_table(
+            ["Policy", *(f"PT<={t}" for t in THRESHOLDS)],
+            rows,
+            title=f"Figure 10({entry.app}): cumulative ratio of PT",
+        ))
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(render(compute_figure()))
+
+
+if __name__ == "__main__":
+    main()

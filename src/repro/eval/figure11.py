@@ -1,0 +1,121 @@
+"""Figure 11: ET (execution-time over-privilege) per task, for OPEC
+and the three ACES strategies on the five shared applications (§6.4).
+
+Tasks are the operation entries.  One traced run of the vanilla build
+provides each task's executed-function set (the GDB single-stepping of
+the paper); "needed" globals depend on the scheme:
+
+* OPEC — the operation's resource dependency;
+* ACES — the union of the dependencies of every compartment the task's
+  executed functions belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps import ACES_APPS
+from ..baselines.aces.compartments import ALL_STRATEGIES
+from ..image.layout import build_vanilla_image
+from ..ir.values import GlobalVariable
+from .metrics import et_value
+from .report import render_table
+from .tracing import TaskTrace, trace_tasks
+from .workloads import aces_artifacts, build_app, opec_artifacts
+
+# ET depends only on *which* functions each task executes — not on how
+# many times the workload repeats them — so the figure runs entirely on
+# the downscaled profile.  Crucially, the traced run, the OPEC
+# partition, and the ACES compartments must all see the SAME module
+# instance: resource sets are keyed by object identity.
+PROFILE = "quick"
+
+_trace_cache: dict[str, TaskTrace] = {}
+
+
+def task_trace(name: str) -> TaskTrace:
+    if name not in _trace_cache:
+        app = build_app(name, profile=PROFILE)
+        image = build_vanilla_image(app.module, app.board)
+        entries = [spec.entry for spec in app.specs]
+        trace, _result = trace_tasks(image, entries, setup=app.setup,
+                                     max_instructions=app.max_instructions)
+        _trace_cache[name] = trace
+    return _trace_cache[name]
+
+
+def _used_globals(name: str, task: str) -> set[GlobalVariable]:
+    """Globals of the functions the task actually executed."""
+    artifacts = opec_artifacts(name, profile=PROFILE)
+    used: set[GlobalVariable] = set()
+    for func in task_trace(name).functions_of(task):
+        used |= artifacts.resources.function_resources(func).globals_all
+    return {v for v in used if not v.is_const}
+
+
+@dataclass
+class Figure11Data:
+    app: str
+    tasks: list[str] = field(default_factory=list)
+    et: dict[str, list[float]] = field(default_factory=dict)
+
+
+def compute_app(name: str) -> Figure11Data:
+    app = build_app(name, profile=PROFILE)
+    opec = opec_artifacts(name, profile=PROFILE)
+    tasks = [spec.entry for spec in app.specs]
+    data = Figure11Data(app=name, tasks=tasks)
+
+    opec_values = []
+    for task in tasks:
+        operation = opec.policy.operation_by_entry(task)
+        needed = {v for v in operation.resources.globals_all if not v.is_const}
+        opec_values.append(et_value(_used_globals(name, task), needed))
+    data.et["OPEC"] = opec_values
+
+    for strategy in ALL_STRATEGIES:
+        artifacts = aces_artifacts(name, strategy, profile=PROFILE)
+        values = []
+        for task in tasks:
+            executed = task_trace(name).functions_of(task)
+            involved = {
+                artifacts.image.compartment_for(f) for f in executed
+            } - {None}
+            needed: set[GlobalVariable] = set()
+            for compartment in involved:
+                needed |= {
+                    v for v in compartment.resources.globals_all
+                    if not v.is_const
+                }
+            values.append(et_value(_used_globals(name, task), needed))
+        data.et[strategy] = values
+    return data
+
+
+def compute_figure(apps: tuple[str, ...] = ACES_APPS) -> list[Figure11Data]:
+    return [compute_app(name) for name in apps]
+
+
+def render(data: list[Figure11Data]) -> str:
+    blocks = []
+    for entry in data:
+        rows = []
+        for policy in (*ALL_STRATEGIES, "OPEC"):
+            rows.append(
+                (policy, *(f"{v:.2f}" for v in entry.et[policy]))
+            )
+        blocks.append(render_table(
+            ["Policy", *(f"T{i + 1}" for i in range(len(entry.tasks)))],
+            rows,
+            title=(f"Figure 11({entry.app}): ET per task "
+                   f"(tasks: {', '.join(entry.tasks)})"),
+        ))
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(render(compute_figure()))
+
+
+if __name__ == "__main__":
+    main()

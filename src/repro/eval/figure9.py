@@ -1,0 +1,73 @@
+"""Figure 9: runtime / flash / SRAM overhead of OPEC vs the baseline
+(§6.3).
+
+* runtime — DWT cycle count ratio between the OPEC and vanilla builds
+  under the paper's stop conditions;
+* flash — increased flash bytes over the board's flash size;
+* SRAM — increased SRAM bytes (operation data sections + fragments)
+  over the board's SRAM size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..image.layout import build_vanilla_image
+from .report import render_table
+from .workloads import APP_NAMES, build_app, opec_artifacts, run_build
+
+
+@dataclass
+class Figure9Row:
+    app: str
+    runtime_pct: float
+    flash_pct: float
+    sram_pct: float
+
+
+def compute_row(name: str) -> Figure9Row:
+    app = build_app(name)
+    vanilla_image = build_vanilla_image(app.module, app.board)
+    opec_image = opec_artifacts(name).image
+
+    vanilla_run = run_build(name, "vanilla")
+    opec_run = run_build(name, "opec")
+    runtime_pct = 100.0 * (opec_run.cycles / vanilla_run.cycles - 1.0)
+
+    flash_delta = opec_image.flash_used() - vanilla_image.flash_used()
+    flash_pct = 100.0 * flash_delta / app.board.flash_size
+
+    sram_delta = opec_image.sram_used() - vanilla_image.sram_used()
+    sram_pct = 100.0 * sram_delta / app.board.sram_size
+
+    return Figure9Row(app=name, runtime_pct=runtime_pct,
+                      flash_pct=flash_pct, sram_pct=sram_pct)
+
+
+def compute_figure(apps: tuple[str, ...] = APP_NAMES) -> list[Figure9Row]:
+    rows = [compute_row(name) for name in apps]
+    rows.append(Figure9Row(
+        app="Average",
+        runtime_pct=sum(r.runtime_pct for r in rows) / len(rows),
+        flash_pct=sum(r.flash_pct for r in rows) / len(rows),
+        sram_pct=sum(r.sram_pct for r in rows) / len(rows),
+    ))
+    return rows
+
+
+def render(rows: list[Figure9Row]) -> str:
+    return render_table(
+        ["Application", "Runtime Overhead(%)", "Flash Overhead(%)",
+         "SRAM Overhead(%)"],
+        [(r.app, f"{r.runtime_pct:.3f}", f"{r.flash_pct:.2f}",
+          f"{r.sram_pct:.2f}") for r in rows],
+        title="Figure 9: performance overhead of OPEC",
+    )
+
+
+def main() -> None:
+    print(render(compute_figure()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The paper's two over-privilege metrics (§6.4, Equations 1 and 2).
+
+* **PT** — partition-time over-privilege of a domain: the fraction of
+  its *accessible* global-variable bytes that no function in the domain
+  has a data dependency on (Eq. 1).  OPEC's shadowing makes this 0 by
+  construction; ACES' region merging does not.
+* **ET** — execution-time over-privilege of a task: one minus the
+  fraction of its *needed* global-variable bytes actually used during
+  execution (Eq. 2); "needed" depends on the partitioning scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.values import GlobalVariable
+
+
+def var2size(variables: Iterable[GlobalVariable]) -> int:
+    """Σ sizes of a set of (writable) global variables, in bytes."""
+    return sum(v.size for v in variables if not v.is_const)
+
+
+def pt_value(accessible: set[GlobalVariable],
+             needed: set[GlobalVariable]) -> float:
+    """Equation 1: unneeded-but-accessible bytes over accessible bytes.
+
+    A domain accessing no globals (or suffering no over-privilege) has
+    PT = 0.
+    """
+    accessible_bytes = var2size(accessible)
+    if accessible_bytes == 0:
+        return 0.0
+    unneeded_bytes = var2size(accessible - needed)
+    return unneeded_bytes / accessible_bytes
+
+
+def et_value(used: set[GlobalVariable],
+             needed: set[GlobalVariable]) -> float:
+    """Equation 2: 1 − used bytes / needed bytes.
+
+    A task needing no globals has ET = 0.
+    """
+    needed_bytes = var2size(needed)
+    if needed_bytes == 0:
+        return 0.0
+    used_bytes = var2size(used & needed)
+    return 1.0 - used_bytes / needed_bytes
+
+
+def cumulative_ratio(values: list[float],
+                     thresholds: Iterable[float]) -> list[float]:
+    """Fraction of ``values`` ≤ each threshold (Figure 10's y-axis)."""
+    if not values:
+        return [1.0 for _ in thresholds]
+    count = len(values)
+    return [sum(1 for v in values if v <= t) / count for t in thresholds]

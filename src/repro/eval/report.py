@@ -1,0 +1,49 @@
+"""Plain-text rendering helpers for the evaluation harness.
+
+All tables/figures are printed as aligned text (the environment has no
+plotting stack); figures additionally expose their raw series so tests
+and downstream tooling can consume the data directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(series: dict[str, float], width: int = 50,
+                unit: str = "%") -> str:
+    """A horizontal ASCII bar chart (one bar per labelled value)."""
+    if not series:
+        return "(no data)"
+    peak = max(abs(v) for v in series.values()) or 1.0
+    label_width = max(len(k) for k in series)
+    lines = []
+    for label, value in series.items():
+        bar = "#" * max(1, round(abs(value) / peak * width))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

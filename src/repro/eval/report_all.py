@@ -1,0 +1,27 @@
+"""Regenerate every table and figure of the paper's evaluation (§6)."""
+
+from __future__ import annotations
+
+from . import figure9, figure10, figure11, table1, table2, table3
+
+
+def main() -> None:
+    sections = [
+        ("Table 1", table1),
+        ("Figure 9", figure9),
+        ("Table 2", table2),
+        ("Figure 10", figure10),
+        ("Figure 11", figure11),
+        ("Table 3", table3),
+    ]
+    for name, module in sections:
+        print("=" * 72)
+        if hasattr(module, "compute_table"):
+            print(module.render(module.compute_table()))
+        else:
+            print(module.render(module.compute_figure()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

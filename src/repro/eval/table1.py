@@ -1,0 +1,92 @@
+"""Table 1: security-evaluation metrics (§6.2).
+
+Per application: the number of operations, the average number of
+functions per operation, the size of code running at the privileged
+level (OPEC-Monitor) with its percentage of the baseline code size, and
+the average accessible-global-variable bytes per operation with its
+percentage of all writable globals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..image.layout import build_vanilla_image
+from .metrics import var2size
+from .report import render_table
+from .workloads import APP_NAMES, build_app, opec_artifacts
+
+
+@dataclass
+class Table1Row:
+    app: str
+    operations: int
+    avg_functions: float
+    privileged_code: int
+    privileged_pct: float
+    avg_gvars: float
+    avg_gvars_pct: float
+
+
+def compute_row(name: str) -> Table1Row:
+    artifacts = opec_artifacts(name)
+    app = build_app(name)
+    operations = artifacts.operations
+    vanilla = build_vanilla_image(app.module, app.board)
+
+    avg_funcs = sum(len(op.functions) for op in operations) / len(operations)
+    privileged = artifacts.image.monitor_code_bytes
+    baseline_code = vanilla.code_bytes()
+    accessible = [
+        var2size(op.resources.globals_all) for op in operations
+    ]
+    avg_gvars = sum(accessible) / len(accessible)
+    total_gvars = app.module.total_global_bytes() or 1
+
+    return Table1Row(
+        app=name,
+        operations=len(operations),
+        avg_functions=avg_funcs,
+        privileged_code=privileged,
+        privileged_pct=100.0 * privileged / baseline_code,
+        avg_gvars=avg_gvars,
+        avg_gvars_pct=100.0 * avg_gvars / total_gvars,
+    )
+
+
+def compute_table(apps: tuple[str, ...] = APP_NAMES) -> list[Table1Row]:
+    rows = [compute_row(name) for name in apps]
+    rows.append(Table1Row(
+        app="Average",
+        operations=round(sum(r.operations for r in rows) / len(rows), 2),
+        avg_functions=sum(r.avg_functions for r in rows) / len(rows),
+        privileged_code=round(
+            sum(r.privileged_code for r in rows) / len(rows)
+        ),
+        privileged_pct=sum(r.privileged_pct for r in rows) / len(rows),
+        avg_gvars=sum(r.avg_gvars for r in rows) / len(rows),
+        avg_gvars_pct=sum(r.avg_gvars_pct for r in rows) / len(rows),
+    ))
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["Application", "#OPs", "#Avg. Funcs", "#Pri. Code(%)",
+         "#Avg. GVars(%)"],
+        [
+            (r.app, r.operations, f"{r.avg_functions:.2f}",
+             f"{r.privileged_code}({r.privileged_pct:.2f})",
+             f"{r.avg_gvars:.2f}({r.avg_gvars_pct:.2f})")
+            for r in rows
+        ],
+        title="Table 1: metrics of the security evaluation",
+    )
+
+
+def main() -> None:
+    print(render(compute_table()))
+
+
+if __name__ == "__main__":
+    main()

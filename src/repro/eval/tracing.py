@@ -1,0 +1,86 @@
+"""Per-task execution tracing (§6.4).
+
+The paper single-steps the firmware under GDB to learn which functions
+each task actually executes; here the interpreter's function-entry/exit
+callbacks provide the same information without the debugger.  A *task
+window* opens when a task entry function is entered from outside any
+window and closes when that activation returns; every function entered
+while the window is open belongs to the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..image.layout import Image
+from ..interp.interpreter import Interpreter
+from ..ir.function import Function
+from ..pipeline import RunResult
+
+
+@dataclass
+class TaskTrace:
+    """Executed-function sets per task (unioned over invocations)."""
+
+    executed: dict[str, set[Function]] = field(default_factory=dict)
+    invocations: dict[str, int] = field(default_factory=dict)
+
+    def functions_of(self, task: str) -> set[Function]:
+        return self.executed.get(task, set())
+
+
+class TaskTracer:
+    """Installs entry/exit callbacks and collects task windows."""
+
+    def __init__(self, task_entries: list[str]):
+        self.entries = set(task_entries)
+        self.trace = TaskTrace()
+        self._window_task: Optional[str] = None
+        self._window_depth = 0
+        self._depth = 0
+
+    def install(self, interp: Interpreter) -> None:
+        interp.on_function_enter = self._on_enter
+        interp.on_function_exit = self._on_exit
+
+    def _on_enter(self, func: Function) -> None:
+        self._depth += 1
+        if self._window_task is None and func.name in self.entries:
+            self._window_task = func.name
+            self._window_depth = self._depth
+            self.trace.invocations[func.name] = (
+                self.trace.invocations.get(func.name, 0) + 1
+            )
+        if self._window_task is not None:
+            self.trace.executed.setdefault(self._window_task, set()).add(func)
+
+    def _on_exit(self, func: Function) -> None:
+        if (self._window_task is not None
+                and self._depth == self._window_depth
+                and func.name == self._window_task):
+            self._window_task = None
+        self._depth -= 1
+
+
+def trace_tasks(image: Image, task_entries: list[str], *,
+                setup=None, max_instructions: int = 200_000_000
+                ) -> tuple[TaskTrace, RunResult]:
+    """Run ``image`` (typically the vanilla build) and trace tasks."""
+    tracer = TaskTracer(task_entries)
+
+    from ..hw.machine import Machine
+    from ..interp.hooks import RuntimeHooks
+
+    machine = Machine(image.board)
+    if setup is not None:
+        setup(machine)
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image, RuntimeHooks(),
+                         max_instructions=max_instructions)
+    tracer.install(interp)
+    code = interp.run()
+    result = RunResult(halt_code=code, cycles=machine.cycles,
+                       machine=machine, interpreter=interp,
+                       hooks=interp.hooks)
+    return tracer.trace, result

@@ -1,0 +1,96 @@
+"""Workload profiles and build/run caching for the evaluation harness.
+
+Two profiles:
+
+* ``paper`` — the paper's stop conditions (100 un/locks, 11 pictures,
+  5 + 45 TCP packets, …); used by the benchmark suite;
+* ``quick`` — scaled-down rounds for fast test runs.
+
+Set ``REPRO_PROFILE=quick`` in the environment to downscale everything.
+Builds and runs are memoised per process: several table/figure
+generators share the same artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..apps import ALL_APPS, Application
+from ..apps import coremark, pinlock
+from ..baselines import AcesArtifacts, build_aces
+from ..pipeline import BuildArtifacts, RunResult, build_opec, build_vanilla, run_image
+
+APP_NAMES = tuple(ALL_APPS)
+
+
+def active_profile() -> str:
+    return os.environ.get("REPRO_PROFILE", "paper")
+
+
+_app_cache: dict[tuple[str, str], Application] = {}
+_opec_cache: dict[tuple[str, str], BuildArtifacts] = {}
+_aces_cache: dict[tuple[str, str, str], AcesArtifacts] = {}
+_run_cache: dict[tuple[str, str, str], RunResult] = {}
+
+
+def clear_caches() -> None:
+    _app_cache.clear()
+    _opec_cache.clear()
+    _aces_cache.clear()
+    _run_cache.clear()
+
+
+def build_app(name: str, profile: Optional[str] = None) -> Application:
+    profile = profile or active_profile()
+    key = (name, profile)
+    if key not in _app_cache:
+        if name == "PinLock":
+            rounds = 100 if profile == "paper" else 5
+            _app_cache[key] = pinlock.build(rounds=rounds)
+        elif name == "CoreMark":
+            iterations = 100 if profile == "paper" else 10
+            _app_cache[key] = coremark.build(iterations=iterations)
+        else:
+            _app_cache[key] = ALL_APPS[name]()
+    return _app_cache[key]
+
+
+def opec_artifacts(name: str, profile: Optional[str] = None) -> BuildArtifacts:
+    profile = profile or active_profile()
+    key = (name, profile)
+    if key not in _opec_cache:
+        app = build_app(name, profile)
+        _opec_cache[key] = build_opec(app.module, app.board, app.specs)
+    return _opec_cache[key]
+
+
+def aces_artifacts(name: str, strategy: str,
+                   profile: Optional[str] = None) -> AcesArtifacts:
+    profile = profile or active_profile()
+    key = (name, strategy, profile)
+    if key not in _aces_cache:
+        app = build_app(name, profile)
+        _aces_cache[key] = build_aces(app.module, app.board, strategy)
+    return _aces_cache[key]
+
+
+def run_build(name: str, kind: str,
+              profile: Optional[str] = None) -> RunResult:
+    """Run one build flavour ("vanilla", "opec", "ACES1/2/3")."""
+    profile = profile or active_profile()
+    key = (name, kind, profile)
+    if key in _run_cache:
+        return _run_cache[key]
+    app = build_app(name, profile)
+    if kind == "vanilla":
+        image = build_vanilla(app.module, app.board)
+    elif kind == "opec":
+        image = opec_artifacts(name, profile).image
+    else:
+        image = aces_artifacts(name, kind, profile).image
+    result = run_image(image, setup=app.setup,
+                       max_instructions=app.max_instructions)
+    app.verify_run(result.machine, result.halt_code)
+    _run_cache[key] = result
+    return result

@@ -1,0 +1,74 @@
+"""Hardware exception model.
+
+The simulated machine signals faults as Python exceptions.  The
+interpreter catches them at its dispatch loop and routes them to the
+registered privileged handlers, mirroring the ARMv7-M exception entry
+the paper relies on (§2.2, §5.2): SVC for operation switches,
+MemManage for MPU violations (and peripheral-region virtualisation),
+BusFault for unprivileged PPB access (core-peripheral emulation).
+"""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for everything the machine can raise."""
+
+
+class MachineHalt(MachineError):
+    """The firmware executed ``halt`` — normal end of simulation."""
+
+    def __init__(self, code: int = 0):
+        self.code = code
+        super().__init__(f"halt({code})")
+
+
+class MemManageFault(MachineError):
+    """MPU denied a data access (§2.2).
+
+    ``value`` carries the store data so a handler can emulate the
+    access (the ACES micro-emulator path).
+    """
+
+    def __init__(self, address: int, size: int, is_write: bool,
+                 value: int = 0):
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+        self.value = value
+        kind = "write" if is_write else "read"
+        super().__init__(f"MemManage: {kind} of {size}B at 0x{address:08X}")
+
+
+class BusFault(MachineError):
+    """Bus error — notably unprivileged access to the PPB (§2.1)."""
+
+    def __init__(self, address: int, size: int, is_write: bool,
+                 value: int = 0, is_ppb: bool = False):
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+        self.value = value
+        self.is_ppb = is_ppb
+        kind = "write" if is_write else "read"
+        super().__init__(f"BusFault: {kind} of {size}B at 0x{address:08X}")
+
+
+class HardFault(MachineError):
+    """Unrecoverable fault (unmapped memory, fault-in-handler, …)."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"HardFault: {reason}")
+
+
+class SecurityAbort(MachineError):
+    """The monitor aborted the program on a policy violation.
+
+    Raised on: access to a resource outside the current operation's
+    policy, or a sanitisation failure during global write-back (§5.2).
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"SecurityAbort: {reason}")

@@ -1,0 +1,184 @@
+"""The simulated machine: memories + MPU + privilege + cycle counter.
+
+Every load/store the interpreter performs goes through
+:meth:`Machine.load` / :meth:`Machine.store`, which apply the exact
+checks the hardware would (§2):
+
+1. PPB addresses are privileged-only — unprivileged access raises
+   :class:`BusFault` (the hook OPEC uses for core-peripheral emulation);
+2. the MPU arbitrates everything else — a denial raises
+   :class:`MemManageFault` (the hook for peripheral-region
+   virtualisation);
+3. the access then reaches flash / SRAM / a device model.
+
+The DWT-style cycle counter is advanced by the interpreter per
+instruction and by the monitor for its own (privileged) work, so
+runtime-overhead numbers (Figure 9) are deterministic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .board import Board
+from .exceptions import BusFault, MemManageFault
+from .memory import FlashRegion, MemoryMap, MMIODevice, MMIORegion, RamRegion
+from .mpu import MPU
+
+# ARMv7-M exception number of the SysTick interrupt.
+SYSTICK_IRQ = 15
+
+
+@dataclass
+class MachineStats:
+    """Counters exposed to the evaluation harness."""
+
+    loads: int = 0
+    stores: int = 0
+    memmanage_faults: int = 0
+    bus_faults: int = 0
+    svc_calls: int = 0
+    peripheral_region_switches: int = 0
+    emulated_core_accesses: int = 0
+    micro_emulated_accesses: int = 0
+
+
+class Machine:
+    """One simulated microcontroller."""
+
+    def __init__(self, board: Board):
+        self.board = board
+        self.memory = MemoryMap()
+        self.flash = FlashRegion("flash", board.flash_base, board.flash_size)
+        self.sram = RamRegion("sram", board.sram_base, board.sram_size)
+        self.memory.map(self.flash)
+        self.memory.map(self.sram)
+        self.mpu = MPU()
+        self.privileged = True
+        self.base_privilege = True
+        self.cycles = 0
+        self.pending_irqs: list[int] = []
+        self._systick_armed = False
+        self._systick_period = 0
+        self._systick_next = 0
+        self.stats = MachineStats()
+        self.devices: dict[str, MMIODevice] = {}
+        # Core PPB peripherals exist on every ARMv7-M part.
+        from .peripherals.core import DWT, SCB, SysTick
+
+        self.attach_device("DWT", DWT())
+        self.attach_device("SysTick", SysTick())
+        self.attach_device("SCB", SCB())
+
+    # -- device attachment -------------------------------------------
+
+    def attach_device(self, peripheral_name: str, device: MMIODevice) -> MMIODevice:
+        """Map a device model at its board-defined window."""
+        peripheral = self.board.peripheral(peripheral_name)
+        self.memory.map(
+            MMIORegion(peripheral.name, peripheral.base, peripheral.size, device)
+        )
+        self.devices[peripheral_name] = device
+        setattr(device, "machine", self)
+        return device
+
+    def device(self, name: str) -> MMIODevice:
+        return self.devices[name]
+
+    # -- privilege ----------------------------------------------------
+    #
+    # `privileged` is the effective level; `base_privilege` is the
+    # thread level execution returns to after an exception handler.  A
+    # handler may change `base_privilege` (ACES' compartment lifting);
+    # OPEC never does.
+
+    def drop_privilege(self) -> None:
+        """Enter unprivileged execution (monitor init, §5.1)."""
+        self.base_privilege = False
+        self.privileged = False
+
+    def set_base_privilege(self, privileged: bool) -> None:
+        """Set the thread privilege level execution resumes at."""
+        self.base_privilege = privileged
+
+    @contextmanager
+    def privileged_mode(self):
+        """Run a block at the privileged level (exception entry)."""
+        self.privileged = True
+        try:
+            yield
+        finally:
+            self.privileged = self.base_privilege
+
+    # -- cycle accounting and interrupt timing ---------------------------
+
+    def consume(self, cycles: int) -> None:
+        self.cycles += cycles
+        if self._systick_armed and self.cycles >= self._systick_next:
+            self.pending_irqs.append(SYSTICK_IRQ)
+            # Re-arm past the current time: a long stall produces one
+            # (coalesced) tick, not an interrupt storm.
+            period = self._systick_period
+            self._systick_next += (
+                (self.cycles - self._systick_next) // period + 1
+            ) * period
+
+    # -- interrupts ------------------------------------------------------
+
+    def raise_irq(self, number: int) -> None:
+        """Device-side: latch an interrupt for the CPU."""
+        self.pending_irqs.append(number)
+
+    def arm_systick(self, reload: int) -> None:
+        """SysTick device hook: periodic tick every ``reload+1`` cycles."""
+        self._systick_period = max(reload + 1, 32)
+        self._systick_next = self.cycles + self._systick_period
+        self._systick_armed = True
+
+    def disarm_systick(self) -> None:
+        self._systick_armed = False
+
+    # -- checked accesses ------------------------------------------------
+
+    def load(self, address: int, size: int) -> int:
+        """A data read issued by executing code (MPU/PPB-checked)."""
+        self.stats.loads += 1
+        self._check(address, size, write=False)
+        return self.memory.read(address, size)
+
+    def store(self, address: int, size: int, value: int) -> None:
+        """A data write issued by executing code (MPU/PPB-checked)."""
+        self.stats.stores += 1
+        self._check(address, size, write=True, value=value)
+        self.memory.write(address, size, value)
+
+    def _check(self, address: int, size: int, write: bool, value: int = 0) -> None:
+        if Board.is_ppb(address) and not self.privileged:
+            self.stats.bus_faults += 1
+            raise BusFault(address, size, write, value=value, is_ppb=True)
+        if not self.mpu.allows(address, size, self.privileged, write):
+            self.stats.memmanage_faults += 1
+            raise MemManageFault(address, size, write, value=value)
+
+    # -- unchecked accesses (privileged monitor / DMA / loader) ----------
+
+    def read_direct(self, address: int, size: int) -> int:
+        return self.memory.read(address, size)
+
+    def write_direct(self, address: int, size: int, value: int) -> None:
+        self.memory.write(address, size, value)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return self.memory.read_bytes(address, length)
+
+    def write_bytes(self, address: int, blob: bytes) -> None:
+        self.memory.write_bytes(address, blob)
+
+    def program_flash(self, address: int, blob: bytes) -> None:
+        """Burn the firmware image (loader path, not a runtime store)."""
+        self.flash.program(address, blob)
+
+    def __repr__(self) -> str:
+        mode = "priv" if self.privileged else "unpriv"
+        return f"<Machine {self.board.name} [{mode}] cycles={self.cycles}>"

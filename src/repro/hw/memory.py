@@ -1,0 +1,166 @@
+"""Physical memory map: flash, SRAM, and memory-mapped I/O.
+
+The map mirrors Figure 2 of the paper: code in flash, data/stack in
+SRAM, peripherals at fixed bus addresses, core peripherals on the
+Private Peripheral Bus.  Accesses that hit no mapped range raise
+:class:`HardFault` (the real bus would raise a fault too); MPU and
+privilege checks happen one layer up, in :class:`repro.hw.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .exceptions import HardFault
+
+
+class MMIODevice(Protocol):
+    """Interface of a memory-mapped device model."""
+
+    def mmio_read(self, offset: int, size: int) -> int: ...
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None: ...
+
+
+class Region:
+    """A contiguous mapped address range."""
+
+    def __init__(self, name: str, base: int, size: int):
+        self.name = name
+        self.base = base
+        self.size = size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def read(self, address: int, size: int) -> int:
+        raise NotImplementedError
+
+    def write(self, address: int, size: int, value: int) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} 0x{self.base:08X}+0x{self.size:X}>"
+
+
+class RamRegion(Region):
+    """Plain byte-addressable RAM."""
+
+    def __init__(self, name: str, base: int, size: int):
+        super().__init__(name, base, size)
+        self.data = bytearray(size)
+
+    def read(self, address: int, size: int) -> int:
+        off = address - self.base
+        return int.from_bytes(self.data[off : off + size], "little")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        off = address - self.base
+        self.data[off : off + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        off = address - self.base
+        return bytes(self.data[off : off + length])
+
+    def write_bytes(self, address: int, blob: bytes) -> None:
+        off = address - self.base
+        self.data[off : off + len(blob)] = blob
+
+
+class FlashRegion(RamRegion):
+    """Flash: writable only through the programmer (image load)."""
+
+    def write(self, address: int, size: int, value: int) -> None:
+        raise HardFault(f"write to flash at 0x{address:08X}")
+
+    def program(self, address: int, blob: bytes) -> None:
+        """Burn bytes into flash (used by the image loader only)."""
+        off = address - self.base
+        self.data[off : off + len(blob)] = blob
+
+
+class MMIORegion(Region):
+    """A device's register window."""
+
+    def __init__(self, name: str, base: int, size: int, device: MMIODevice):
+        super().__init__(name, base, size)
+        self.device = device
+
+    def read(self, address: int, size: int) -> int:
+        return self.device.mmio_read(address - self.base, size)
+
+    def write(self, address: int, size: int, value: int) -> None:
+        self.device.mmio_write(address - self.base, size, value)
+
+
+class MemoryMap:
+    """The full physical address space of the simulated SoC."""
+
+    def __init__(self):
+        self.regions: list[Region] = []
+        self._cache: Optional[Region] = None
+
+    def map(self, region: Region) -> Region:
+        for existing in self.regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region {region.name} overlaps {existing.name}"
+                )
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+        self._cache = None
+        return region
+
+    def find(self, address: int) -> Optional[Region]:
+        cached = self._cache
+        if cached is not None and cached.contains(address):
+            return cached
+        for region in self.regions:
+            if region.contains(address):
+                self._cache = region
+                return region
+        return None
+
+    def region_for(self, address: int) -> Region:
+        region = self.find(address)
+        if region is None:
+            raise HardFault(f"access to unmapped address 0x{address:08X}")
+        return region
+
+    def read(self, address: int, size: int) -> int:
+        region = self.region_for(address)
+        if address + size > region.end:
+            raise HardFault(f"access crosses region end at 0x{address:08X}")
+        return region.read(address, size)
+
+    def write(self, address: int, size: int, value: int) -> None:
+        region = self.region_for(address)
+        if address + size > region.end:
+            raise HardFault(f"access crosses region end at 0x{address:08X}")
+        region.write(address, size, value)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Bulk read (DMA / monitor use); must stay within one region."""
+        region = self.region_for(address)
+        if isinstance(region, RamRegion):
+            return region.read_bytes(address, length)
+        return bytes(
+            region.read(address + i, 1) for i in range(length)
+        )
+
+    def write_bytes(self, address: int, blob: bytes) -> None:
+        """Bulk write (DMA / monitor use); must stay within one region."""
+        region = self.region_for(address)
+        if isinstance(region, FlashRegion):
+            raise HardFault(f"bulk write to flash at 0x{address:08X}")
+        if isinstance(region, RamRegion):
+            region.write_bytes(address, blob)
+            return
+        for i, byte in enumerate(blob):
+            region.write(address + i, 1, byte)

@@ -1,0 +1,15 @@
+"""Peripheral device models for the simulated boards."""
+
+from .basic import GPIO, RCC, RegisterFile, UART
+from .core import DWT, SCB, SysTick
+from .display import DMA2D, LTDC
+from .network import DCMI, EthernetMAC
+from .storage import BLOCK_SIZE, SDCard, USBMassStorage
+
+__all__ = [
+    "GPIO", "RCC", "RegisterFile", "UART",
+    "DWT", "SCB", "SysTick",
+    "DMA2D", "LTDC",
+    "DCMI", "EthernetMAC",
+    "BLOCK_SIZE", "SDCard", "USBMassStorage",
+]

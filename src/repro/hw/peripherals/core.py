@@ -1,0 +1,82 @@
+"""Core (Private Peripheral Bus) device models: DWT, SysTick, SCB.
+
+These live at PPB addresses, so unprivileged firmware touching them
+bus-faults and OPEC-Monitor emulates the access (§5.2).  The DWT
+cycle counter is the instrument the paper uses to measure runtime
+overhead (§6.3); here it reflects the machine's deterministic cycle
+count.
+"""
+
+from __future__ import annotations
+
+
+class DWT:
+    """Data Watchpoint and Trace unit: CTRL at 0x0, CYCCNT at 0x4."""
+
+    CTRL = 0x0
+    CYCCNT = 0x4
+
+    def __init__(self):
+        self.machine = None  # set by Machine.attach_device
+        self.ctrl = 0
+        self._base_cycles = 0
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == self.CTRL:
+            return self.ctrl
+        if offset == self.CYCCNT:
+            return (self.machine.cycles - self._base_cycles) & 0xFFFFFFFF
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == self.CTRL:
+            self.ctrl = value
+        elif offset == self.CYCCNT:
+            # Writing CYCCNT resets the visible counter.
+            self._base_cycles = self.machine.cycles - value
+
+
+class SysTick:
+    """SysTick timer: CSR at 0x0, RVR at 0x4, CVR at 0x8."""
+
+    def __init__(self):
+        self.machine = None
+        self.csr = 0
+        self.rvr = 0
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x0:
+            return self.csr
+        if offset == 0x4:
+            return self.rvr
+        if offset == 0x8:
+            reload = self.rvr or 0xFFFFFF
+            return (reload - self.machine.cycles) % (reload + 1)
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x0:
+            self.csr = value
+            if self.machine is not None:
+                # ENABLE | TICKINT arms the periodic tick interrupt.
+                if value & 0b11 == 0b11:
+                    self.machine.arm_systick(self.rvr)
+                else:
+                    self.machine.disarm_systick()
+        elif offset == 0x4:
+            self.rvr = value & 0xFFFFFF
+        # CVR writes clear the counter; the model has no latched state.
+
+
+class SCB:
+    """System Control Block stub: registers behave as plain storage."""
+
+    def __init__(self):
+        self.machine = None
+        self.registers: dict[int, int] = {}
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        return self.registers.get(offset, 0)
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        self.registers[offset] = value

@@ -1,0 +1,113 @@
+"""Display pipeline models: LTDC (LCD controller) and DMA2D (blitter).
+
+The Animation and LCD-uSD workloads draw SD-card pictures to the LCD
+with fade effects (§6); Animation additionally uses the DMA2D blitter,
+which — like real hardware DMA — bypasses the MPU when it copies.
+"""
+
+from __future__ import annotations
+
+
+class LTDC:
+    """LCD-TFT display controller.
+
+    The HAL configures a framebuffer address (layer CFBAR) and pokes
+    the shadow-reload register (SRCR) once per presented frame.  The
+    model counts frames and lets the host snapshot the framebuffer.
+    """
+
+    GCR = 0x18
+    SRCR = 0x24
+    BCCR = 0x2C
+    L1CFBAR = 0x84
+    L1CFBLR = 0x90
+
+    def __init__(self, width: int = 240, height: int = 320,
+                 vsync_cycles: int = 150_000):
+        self.machine = None
+        self.width = width
+        self.height = height
+        self.vsync_cycles = vsync_cycles
+        self.gcr = 0
+        self.framebuffer_address = 0
+        self.frames_shown = 0
+        self.registers: dict[int, int] = {}
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == self.GCR:
+            return self.gcr
+        if offset == self.L1CFBAR:
+            return self.framebuffer_address
+        return self.registers.get(offset, 0)
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == self.GCR:
+            self.gcr = value
+        elif offset == self.L1CFBAR:
+            self.framebuffer_address = value
+        elif offset == self.SRCR:
+            if value & 1:
+                self.frames_shown += 1
+                if self.machine is not None:
+                    # Shadow reload latches at the next vertical blank.
+                    self.machine.consume(self.vsync_cycles)
+        else:
+            self.registers[offset] = value
+
+    def snapshot(self, length: int) -> bytes:
+        """Host-side: read the current framebuffer contents."""
+        return self.machine.read_bytes(self.framebuffer_address, length)
+
+
+class DMA2D:
+    """Chrom-ART blitter: memory-to-memory copies that bypass the MPU.
+
+    CR bit 0 starts the transfer; FGMAR/OMAR hold source/destination,
+    NLR packs (lines << 16 | bytes-per-line).  ISR bit 1 signals
+    transfer complete.
+    """
+
+    CR = 0x00
+    ISR = 0x04
+    FGMAR = 0x0C
+    OMAR = 0x3C
+    NLR = 0x44
+
+    ISR_TCIF = 1 << 1
+
+    def __init__(self):
+        self.machine = None
+        self.source = 0
+        self.destination = 0
+        self.nlr = 0
+        self.complete = False
+        self.transfers = 0
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == self.ISR:
+            return self.ISR_TCIF if self.complete else 0
+        if offset == self.FGMAR:
+            return self.source
+        if offset == self.OMAR:
+            return self.destination
+        if offset == self.NLR:
+            return self.nlr
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == self.FGMAR:
+            self.source = value
+        elif offset == self.OMAR:
+            self.destination = value
+        elif offset == self.NLR:
+            self.nlr = value
+        elif offset == self.CR and value & 1:
+            lines = self.nlr >> 16 & 0xFFFF
+            per_line = self.nlr & 0xFFFF
+            length = lines * per_line
+            # DMA masters are not subject to the CPU's MPU.
+            blob = self.machine.read_bytes(self.source, length)
+            self.machine.write_bytes(self.destination, blob)
+            self.machine.consume(length // 4)
+            self.complete = True
+            self.transfers += 1

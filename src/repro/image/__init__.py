@@ -1,0 +1,66 @@
+"""Program-image generation (§4.4): layout, MPU synthesis, linking."""
+
+from .layout import (
+    DEFAULT_HEAP_SIZE,
+    DEFAULT_STACK_SIZE,
+    Image,
+    Section,
+    VECTOR_TABLE_SIZE,
+    VanillaImage,
+    align_up,
+    build_vanilla_image,
+    function_code_size,
+)
+from .linker import (
+    HEAP_FUNCTION_NAMES,
+    LinkError,
+    OpecImage,
+    OperationLayout,
+    build_opec_image,
+)
+from .metadata import (
+    instrumentation_size,
+    metadata_size,
+    monitor_code_size,
+)
+from .policyfile import (
+    PolicyValidationError,
+    dump_policy,
+    load_policy,
+    policy_document,
+    validate_policy,
+    write_policy,
+)
+from .mpu_config import (
+    BACKGROUND_REGION,
+    CODE_REGION,
+    DATA_ZONE_REGION,
+    OPDATA_REGION,
+    PERIPHERAL_REGIONS,
+    STACK_REGION,
+    RegionTemplate,
+    background_region,
+    code_region,
+    covering_regions,
+    data_zone_region,
+    opdata_region,
+    peripheral_region,
+    stack_region,
+    subregion_disable_for_free_range,
+)
+
+__all__ = [
+    "DEFAULT_HEAP_SIZE", "DEFAULT_STACK_SIZE", "Image", "Section",
+    "VECTOR_TABLE_SIZE", "VanillaImage", "align_up", "build_vanilla_image",
+    "function_code_size",
+    "HEAP_FUNCTION_NAMES", "LinkError", "OpecImage", "OperationLayout",
+    "build_opec_image",
+    "instrumentation_size", "metadata_size", "monitor_code_size",
+    "PolicyValidationError", "dump_policy", "load_policy",
+    "policy_document", "validate_policy", "write_policy",
+    "BACKGROUND_REGION", "CODE_REGION", "DATA_ZONE_REGION", "OPDATA_REGION",
+    "PERIPHERAL_REGIONS", "STACK_REGION", "RegionTemplate",
+    "background_region", "code_region", "covering_regions",
+    "data_zone_region", "opdata_region", "peripheral_region", "stack_region",
+    "subregion_disable_for_free_range",
+]

@@ -1,0 +1,61 @@
+"""Operation-metadata size model (§4.4).
+
+The metadata the compiler emits per operation — MPU configurations,
+stack information, sanitisation values, the peripheral allow-list, and
+the variable-relocation-table descriptors — lives in flash and is the
+dominant part of OPEC's flash overhead in the paper ("the operation
+metadata … accounts for the most flash overhead").  The byte model
+below mirrors the natural packed encodings of those records.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Call
+from ..ir.module import Module
+from ..partition.policy import SystemPolicy
+
+# Per-record encoded sizes (bytes).
+MPU_DESCRIPTOR_BYTES = 8          # RBAR + RASR words
+MPU_DESCRIPTORS_PER_OP = 8
+STACK_INFO_ENTRY_BYTES = 8        # (param index, buffer size)
+SANITIZE_ENTRY_BYTES = 12         # (var, lo, hi)
+PERIPHERAL_ENTRY_BYTES = 8        # (window base, window size)
+RELOC_DESCRIPTOR_BYTES = 8        # (slot, shadow address)
+OPERATION_HEADER_BYTES = 16
+MONITOR_BASE_CODE_BYTES = 8200    # the monitor's fixed code footprint
+MONITOR_PER_OP_CODE_BYTES = 24    # switch-table glue per operation
+MONITOR_DATA_BYTES = 512          # privileged monitor state in SRAM
+SVC_STUB_BYTES = 8                # SVC before + after one call site
+
+
+def monitor_code_size(num_operations: int) -> int:
+    """Flash bytes of OPEC-Monitor (the privileged code of Table 1)."""
+    return MONITOR_BASE_CODE_BYTES + MONITOR_PER_OP_CODE_BYTES * num_operations
+
+
+def metadata_size(policy: SystemPolicy) -> int:
+    """Flash bytes of all operation metadata."""
+    total = 0
+    for operation in policy.operations:
+        externals = policy.external_vars(operation)
+        sanitized = [g for g in externals if g.sanitize_range is not None]
+        total += (
+            OPERATION_HEADER_BYTES
+            + MPU_DESCRIPTOR_BYTES * MPU_DESCRIPTORS_PER_OP
+            + STACK_INFO_ENTRY_BYTES * len(operation.stack_info)
+            + SANITIZE_ENTRY_BYTES * len(sanitized)
+            + PERIPHERAL_ENTRY_BYTES * len(operation.windows)
+            + RELOC_DESCRIPTOR_BYTES * len(externals)
+        )
+    return total
+
+
+def instrumentation_size(module: Module, policy: SystemPolicy) -> int:
+    """Flash bytes of the inserted SVC pairs (§4.4)."""
+    entries = {op.entry for op in policy.operations if not op.is_default}
+    sites = 0
+    for func in module.iter_functions():
+        for inst in func.iter_instructions():
+            if isinstance(inst, Call) and inst.callee in entries:
+                sites += 1
+    return SVC_STUB_BYTES * sites

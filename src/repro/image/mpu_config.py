@@ -1,0 +1,183 @@
+"""MPU configuration synthesis (§4.4, §5.2).
+
+Computes the per-operation region set the monitor loads on a switch.
+Region plan (adapted from Figure 6; see DESIGN.md for the one
+deliberate delta):
+
+* **R0** — background: flash + SRAM (the lower 1 GB of the address
+  map), unprivileged read-only.  Peripheral space is *not* covered, so
+  unprivileged peripheral access faults by default.
+* **R1** — application code in flash: unprivileged RO + execute.
+* **R2** — the operation-data zone (heap + every operation data
+  section): unprivileged no-access.  This overlay is what makes *other*
+  operations' sections and the heap inaccessible, matching Figure 6's
+  colouring.
+* **R3** — the stack, with a dynamic sub-region disable mask (§5.2).
+* **R4** — the current operation's data section, read-write.
+* **R5–R7** — windows onto the operation's merged peripherals (plus
+  the heap if the operation uses it); operations needing more windows
+  are served by MPU-region virtualisation at fault time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.mpu import (
+    ACCESS_NONE,
+    ACCESS_READ,
+    ACCESS_READWRITE,
+    MIN_REGION_SIZE,
+    MPURegion,
+    align_base,
+    region_size_for,
+)
+
+BACKGROUND_REGION = 0
+CODE_REGION = 1
+DATA_ZONE_REGION = 2
+STACK_REGION = 3
+OPDATA_REGION = 4
+PERIPHERAL_REGIONS = (5, 6, 7)
+
+
+def covering_regions(base: int, length: int, max_regions: int = 4) -> list[tuple[int, int]]:
+    """Minimal list of legal (base, size) MPU regions covering a range.
+
+    A single power-of-two region whose aligned base still covers the
+    range is preferred; otherwise the range is covered left-to-right
+    with the largest aligned regions that fit — this is the "one
+    peripheral may need two more MPU regions due to the alignment
+    requirement" case of §5.2.
+    """
+    if length <= 0:
+        raise ValueError("cannot cover an empty range")
+    size = region_size_for(length)
+    aligned = align_base(base, size)
+    if aligned + size >= base + length:
+        return [(aligned, size)]
+
+    regions: list[tuple[int, int]] = []
+    cursor = base
+    end = base + length
+    while cursor < end and len(regions) < max_regions:
+        size = MIN_REGION_SIZE
+        # Largest power-of-two region starting at an address <= cursor
+        # that begins exactly at cursor when aligned.
+        while True:
+            bigger = size << 1
+            if align_base(cursor, bigger) != cursor or bigger > region_size_for(end - cursor):
+                break
+            size = bigger
+        if align_base(cursor, size) != cursor:
+            # Mis-aligned cursor: fall back to the smallest region.
+            size = MIN_REGION_SIZE
+            cursor = align_base(cursor, size)
+        regions.append((cursor, size))
+        cursor += size
+    if cursor < end:
+        raise ValueError(
+            f"range 0x{base:08X}+0x{length:X} needs more than "
+            f"{max_regions} MPU regions"
+        )
+    return regions
+
+
+def subregion_disable_for_free_range(region_base: int, region_size: int,
+                                     low_watermark: int) -> int:
+    """Disable mask exposing only sub-regions below ``low_watermark``.
+
+    The stack grows down; the current operation may use sub-regions
+    strictly below its entry boundary, while sub-regions holding
+    previous operations' frames (at and above the boundary) are
+    disabled so they fall through to R0's read-only background (§5.2).
+    """
+    sub = region_size // 8
+    mask = 0
+    for i in range(8):
+        sub_base = region_base + i * sub
+        if sub_base >= low_watermark:
+            mask |= 1 << i
+    return mask
+
+
+@dataclass
+class RegionTemplate:
+    """A pre-computed region descriptor (base/size/permissions)."""
+
+    number: int
+    base: int
+    size: int
+    priv: str
+    unpriv: str
+    executable: bool = False
+    subregion_disable: int = 0
+
+    def instantiate(self, subregion_disable: int | None = None) -> MPURegion:
+        return MPURegion(
+            number=self.number,
+            base=self.base,
+            size=self.size,
+            priv=self.priv,
+            unpriv=self.unpriv,
+            executable=self.executable,
+            subregion_disable=(
+                self.subregion_disable
+                if subregion_disable is None
+                else subregion_disable
+            ),
+        )
+
+
+def background_region() -> RegionTemplate:
+    """R0: flash + SRAM (0x0 .. 0x3FFFFFFF) readable, never writable."""
+    return RegionTemplate(
+        number=BACKGROUND_REGION, base=0x0, size=0x40000000,
+        priv=ACCESS_READWRITE, unpriv=ACCESS_READ,
+    )
+
+
+def code_region(flash_base: int, flash_size: int) -> RegionTemplate:
+    """R1: the whole flash, unprivileged read/execute."""
+    size = region_size_for(flash_size)
+    return RegionTemplate(
+        number=CODE_REGION, base=align_base(flash_base, size), size=size,
+        priv=ACCESS_READ, unpriv=ACCESS_READ, executable=True,
+    )
+
+
+def data_zone_region(zone_base: int, zone_size: int) -> RegionTemplate:
+    """R2: all operation data sections + heap, unprivileged NA."""
+    size = region_size_for(zone_size)
+    base = align_base(zone_base, size)
+    if base + size < zone_base + zone_size:
+        size <<= 1
+        base = align_base(zone_base, size)
+    return RegionTemplate(
+        number=DATA_ZONE_REGION, base=base, size=size,
+        priv=ACCESS_READWRITE, unpriv=ACCESS_NONE,
+    )
+
+
+def stack_region(stack_base: int, stack_size: int,
+                 subregion_disable: int = 0) -> RegionTemplate:
+    return RegionTemplate(
+        number=STACK_REGION, base=stack_base, size=stack_size,
+        priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+        subregion_disable=subregion_disable,
+    )
+
+
+def opdata_region(section_base: int, section_size: int) -> RegionTemplate:
+    size = region_size_for(max(section_size, MIN_REGION_SIZE))
+    return RegionTemplate(
+        number=OPDATA_REGION, base=align_base(section_base, size), size=size,
+        priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+    )
+
+
+def peripheral_region(number: int, base: int, size: int) -> MPURegion:
+    return MPURegion(
+        number=number, base=base, size=size,
+        priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+    )

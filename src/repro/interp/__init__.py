@@ -1,0 +1,22 @@
+"""IR interpreter running linked firmware images on the simulated machine."""
+
+from .costs import (
+    CORE_EMULATION_COST,
+    DEFAULT_COST,
+    DIV_COST,
+    INSTRUCTION_COSTS,
+    REGION_SWITCH_COST,
+    SANITIZE_CHECK_COST,
+    STACK_RELOCATE_WORD_COST,
+    SWITCH_BASE_COST,
+    SYNC_WORD_COST,
+)
+from .hooks import RuntimeHooks
+from .interpreter import ExecutionLimitExceeded, Frame, Interpreter
+
+__all__ = [
+    "CORE_EMULATION_COST", "DEFAULT_COST", "DIV_COST", "INSTRUCTION_COSTS",
+    "REGION_SWITCH_COST", "SANITIZE_CHECK_COST", "STACK_RELOCATE_WORD_COST",
+    "SWITCH_BASE_COST", "SYNC_WORD_COST",
+    "RuntimeHooks", "ExecutionLimitExceeded", "Frame", "Interpreter",
+]

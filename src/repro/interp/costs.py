@@ -1,0 +1,42 @@
+"""Per-instruction cycle costs for the deterministic DWT counter.
+
+Rough Cortex-M4 shape: single-cycle ALU, two-cycle memory accesses,
+multi-cycle divide, pipeline-refilling branches/calls.  Absolute
+numbers do not matter for the reproduction — only that baseline and
+OPEC builds are charged identically for application code, with the
+monitor's privileged work added on top (Figure 9 measures the ratio).
+"""
+
+from __future__ import annotations
+
+DEFAULT_COST = 1
+
+INSTRUCTION_COSTS = {
+    "alloca": 1,
+    "load": 2,
+    "store": 2,
+    "gep": 1,
+    "binop": 1,
+    "icmp": 1,
+    "cast": 1,
+    "select": 1,
+    "call": 3,
+    "icall": 4,
+    "br": 2,
+    "jump": 2,
+    "ret": 3,
+    "svc": 12,       # exception entry/exit
+    "halt": 1,
+    "unreachable": 1,
+}
+
+DIV_COST = 12  # udiv/sdiv/urem/srem
+
+# Monitor work (privileged, Python-modelled) is charged explicitly:
+SWITCH_BASE_COST = 60          # SVC entry, context save/restore, MPU reload
+SYNC_WORD_COST = 2             # ldr+str pair per synced 32-bit word
+SANITIZE_CHECK_COST = 3        # one range check
+STACK_RELOCATE_WORD_COST = 2   # ldr+str pair per relocated word
+REGION_SWITCH_COST = 40        # MemManage-driven peripheral region swap
+CORE_EMULATION_COST = 50       # BusFault-driven load/store emulation
+MICRO_EMULATOR_COST = 60       # ACES' per-access stack micro-emulation

@@ -1,0 +1,496 @@
+"""IR interpreter: executes a linked firmware image on the machine.
+
+The interpreter is the stand-in for the Cortex-M4 pipeline: it walks
+basic blocks, keeps virtual registers per frame, maintains the stack
+pointer inside simulated SRAM, charges cycles to the machine's DWT
+counter, and — critically for OPEC — performs every memory access
+through :class:`repro.hw.machine.Machine`, so the MPU and privilege
+checks apply exactly as on hardware.
+
+Faults raised mid-instruction are routed to the build's
+:class:`~repro.interp.hooks.RuntimeHooks` at the privileged level and
+the instruction is retried when the handler fixed things up — the same
+fault-driven control flow the paper's monitor uses for MPU-region
+virtualisation and core-peripheral emulation (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..hw.exceptions import (
+    BusFault,
+    HardFault,
+    MachineHalt,
+    MemManageFault,
+)
+from ..hw.machine import Machine
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GEP,
+    Halt,
+    ICall,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    SVC,
+    Unreachable,
+)
+from ..ir.types import ArrayType, IntType, StructType
+from ..ir.values import (
+    Constant,
+    ConstantNull,
+    ConstantPointer,
+    GlobalVariable,
+    Parameter,
+    Value,
+)
+from .costs import DEFAULT_COST, DIV_COST, INSTRUCTION_COSTS
+from .hooks import RuntimeHooks
+
+_WORD = 0xFFFFFFFF
+_MAX_FAULT_RETRIES = 16
+
+
+class ExecutionLimitExceeded(HardFault):
+    """The instruction budget ran out (firmware likely spinning)."""
+
+
+def _to_signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    function: Function
+    block: BasicBlock
+    index: int = 0
+    regs: dict[Value, int] = field(default_factory=dict)
+    sp_entry: int = 0
+    switched: bool = False
+    is_irq: bool = False
+    call_site: Optional[Instruction] = None  # caller's call instruction
+
+
+class Interpreter:
+    """Executes a linked image until ``halt`` or a terminal fault."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        image,
+        hooks: Optional[RuntimeHooks] = None,
+        max_instructions: int = 100_000_000,
+    ):
+        self.machine = machine
+        self.image = image
+        self.hooks = hooks or RuntimeHooks()
+        self.max_instructions = max_instructions
+        self.frames: list[Frame] = []
+        self.sp = image.stack_top
+        self.instructions_executed = 0
+        self.halt_code: Optional[int] = None
+        self._irq_depth = 0
+        # Optional function-granularity trace (GDB single-step stand-in,
+        # §6.4): the evaluation harness records executed functions per task.
+        self.on_function_enter: Optional[Callable[[Function], None]] = None
+        self.on_function_exit: Optional[Callable[[Function], None]] = None
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, entry: str = "main", args: tuple[int, ...] = ()) -> int:
+        """Reset the system, run ``entry``, return the halt code."""
+        self.hooks.on_reset(self)
+        self.call_function(self.image.module.get_function(entry), list(args))
+        return self.resume()
+
+    def resume(self) -> int:
+        """Execute until halt; returns the firmware's halt code."""
+        try:
+            while self.frames:
+                self.step()
+        except MachineHalt as halt:
+            self.halt_code = halt.code
+            return halt.code
+        # ``main`` returned without halting: treat as a clean stop.
+        self.halt_code = 0
+        return 0
+
+    def call_function(self, func: Function, args: list[int],
+                      switched: bool = False,
+                      call_site: Optional[Instruction] = None) -> None:
+        """Push a new frame for ``func`` with evaluated ``args``."""
+        if func.is_declaration:
+            raise HardFault(f"call to undefined function @{func.name}")
+        regs: dict[Value, int] = {}
+        for param, value in zip(func.params, args):
+            regs[param] = value & _WORD
+        frame = Frame(
+            function=func,
+            block=func.entry_block,
+            regs=regs,
+            sp_entry=self.sp,
+            switched=switched,
+            call_site=call_site,
+        )
+        self.frames.append(frame)
+        if self.on_function_enter is not None:
+            self.on_function_enter(func)
+
+    # -- core loop ------------------------------------------------------
+
+    def step(self) -> None:
+        machine = self.machine
+        if machine.pending_irqs and self._irq_depth == 0:
+            self._dispatch_irq(machine.pending_irqs.pop(0))
+        frame = self.frames[-1]
+        if frame.index >= len(frame.block.instructions):
+            raise HardFault(
+                f"fell off block {frame.block.name} in @{frame.function.name}"
+            )
+        inst = frame.block.instructions[frame.index]
+        self.instructions_executed += 1
+        if self.instructions_executed > self.max_instructions:
+            raise ExecutionLimitExceeded(
+                f"instruction budget exceeded in @{frame.function.name}"
+            )
+        self._charge(inst)
+        self._execute(frame, inst)
+
+    def _dispatch_irq(self, number: int) -> None:
+        """Exception entry: run a handler at the privileged level.
+
+        Handlers with no registered vector are dropped (masked).  No
+        preemption nesting: one handler runs to completion.
+        """
+        handler = self.image.irq_handlers.get(number)
+        if handler is None or handler.is_declaration:
+            return
+        self.machine.consume(INSTRUCTION_COSTS["svc"])  # exception entry
+        self.machine.privileged = True
+        self._irq_depth += 1
+        frame = Frame(
+            function=handler,
+            block=handler.entry_block,
+            sp_entry=self.sp,
+            is_irq=True,
+        )
+        self.frames.append(frame)
+        if self.on_function_enter is not None:
+            self.on_function_enter(handler)
+
+    def _charge(self, inst: Instruction) -> None:
+        cost = INSTRUCTION_COSTS.get(inst.opcode, DEFAULT_COST)
+        if isinstance(inst, BinOp) and inst.op in ("udiv", "sdiv", "urem", "srem"):
+            cost = DIV_COST
+        self.machine.consume(cost)
+
+    # -- operand evaluation --------------------------------------------
+
+    def eval(self, frame: Frame, value: Value) -> int:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, ConstantPointer):
+            return value.address
+        if isinstance(value, ConstantNull):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return self.hooks.global_address(self, value) & _WORD
+        if isinstance(value, Function):
+            return self.image.function_address(value)
+        if isinstance(value, (Parameter, Instruction)):
+            try:
+                return frame.regs[value]
+            except KeyError:
+                raise HardFault(
+                    f"use of undefined value {value.short()} in "
+                    f"@{frame.function.name}"
+                ) from None
+        raise HardFault(f"unsupported operand {value!r}")
+
+    # -- faulting memory access with handler retry ------------------------
+
+    def _access(self, operation: Callable[[], Optional[int]]) -> Optional[int]:
+        for _ in range(_MAX_FAULT_RETRIES):
+            try:
+                return operation()
+            except MemManageFault as fault:
+                with self.machine.privileged_mode():
+                    handled = self.hooks.handle_memmanage(self, fault)
+                if handled is False or handled is None:
+                    raise
+                if handled is not True:
+                    # ("emulated", value): the handler performed the
+                    # access itself (ACES' micro-emulator, §5.2).
+                    return handled[1]
+            except BusFault as fault:
+                with self.machine.privileged_mode():
+                    emulated = self.hooks.handle_busfault(self, fault)
+                if emulated is None:
+                    raise HardFault(
+                        f"unhandled BusFault at 0x{fault.address:08X}"
+                    )
+                return emulated
+        raise HardFault("fault retry limit exceeded (handler loop)")
+
+    # -- instruction dispatch ----------------------------------------------
+
+    def _execute(self, frame: Frame, inst: Instruction) -> None:
+        if isinstance(inst, Alloca):
+            size = inst.byte_size
+            self.sp = (self.sp - size) & ~0x3
+            if self.sp < self.image.stack_limit:
+                raise HardFault(
+                    f"stack overflow in @{frame.function.name} "
+                    f"(sp=0x{self.sp:08X})"
+                )
+            frame.regs[inst] = self.sp
+            frame.index += 1
+            return
+
+        if isinstance(inst, Load):
+            address = self.eval(frame, inst.pointer)
+            size = inst.type.size
+            value = self._access(lambda: self.machine.load(address, size))
+            frame.regs[inst] = value & ((1 << (size * 8)) - 1)
+            frame.index += 1
+            return
+
+        if isinstance(inst, Store):
+            address = self.eval(frame, inst.pointer)
+            value = self.eval(frame, inst.value)
+            size = inst.value.type.size
+            self._access(lambda: self.machine.store(address, size, value) or 0)
+            frame.index += 1
+            return
+
+        if isinstance(inst, GEP):
+            frame.regs[inst] = self._compute_gep(frame, inst)
+            frame.index += 1
+            return
+
+        if isinstance(inst, BinOp):
+            frame.regs[inst] = self._compute_binop(frame, inst)
+            frame.index += 1
+            return
+
+        if isinstance(inst, ICmp):
+            frame.regs[inst] = self._compute_icmp(frame, inst)
+            frame.index += 1
+            return
+
+        if isinstance(inst, Cast):
+            frame.regs[inst] = self._compute_cast(frame, inst)
+            frame.index += 1
+            return
+
+        if isinstance(inst, Select):
+            cond = self.eval(frame, inst.operands[0])
+            chosen = inst.operands[1] if cond else inst.operands[2]
+            frame.regs[inst] = self.eval(frame, chosen)
+            frame.index += 1
+            return
+
+        if isinstance(inst, Call):
+            self._do_call(frame, inst, inst.callee,
+                          [self.eval(frame, a) for a in inst.operands])
+            return
+
+        if isinstance(inst, ICall):
+            address = self.eval(frame, inst.target)
+            callee = self.image.function_at(address)
+            if callee is None:
+                raise HardFault(f"icall to non-function address 0x{address:08X}")
+            self._do_call(frame, inst,
+                          callee, [self.eval(frame, a) for a in inst.args])
+            return
+
+        if isinstance(inst, SVC):
+            self.machine.stats.svc_calls += 1
+            handler = getattr(self.hooks, "on_svc", None)
+            if handler is not None:
+                with self.machine.privileged_mode():
+                    handler(self, inst.number, inst.payload)
+            frame.index += 1
+            return
+
+        if isinstance(inst, Br):
+            cond = self.eval(frame, inst.operands[0])
+            frame.block = inst.then_block if cond else inst.else_block
+            frame.index = 0
+            return
+
+        if isinstance(inst, Jump):
+            frame.block = inst.target
+            frame.index = 0
+            return
+
+        if isinstance(inst, Ret):
+            self._do_return(frame, inst)
+            return
+
+        if isinstance(inst, Halt):
+            code = self.eval(frame, inst.operands[0])
+            self.hooks.on_halt(self, code)
+            raise MachineHalt(code)
+
+        if isinstance(inst, Unreachable):
+            raise HardFault(
+                f"unreachable executed in @{frame.function.name}"
+            )
+
+        raise HardFault(f"unknown instruction {inst.opcode}")
+
+    # -- calls / returns ---------------------------------------------------
+
+    def _do_call(self, frame: Frame, inst: Instruction,
+                 callee: Function, args: list[int]) -> None:
+        frame.index += 1  # resume after the call on return
+        switched = self.hooks.is_switch_point(self, callee)
+        if switched:
+            self.machine.stats.svc_calls += 1
+            self.machine.consume(INSTRUCTION_COSTS["svc"])
+            with self.machine.privileged_mode():
+                args = self.hooks.before_call(self, callee, args)
+        self.call_function(callee, args, switched=switched, call_site=inst)
+
+    def _do_return(self, frame: Frame, inst: Ret) -> None:
+        value = self.eval(frame, inst.value) if inst.value is not None else None
+        self.frames.pop()
+        self.sp = frame.sp_entry
+        if self.on_function_exit is not None:
+            self.on_function_exit(frame.function)
+        if frame.is_irq:
+            # Exception return: drop back to the thread privilege level.
+            self._irq_depth -= 1
+            self.machine.consume(INSTRUCTION_COSTS["svc"])
+            self.machine.privileged = self.machine.base_privilege
+            return
+        if frame.switched:
+            self.machine.stats.svc_calls += 1
+            self.machine.consume(INSTRUCTION_COSTS["svc"])
+            with self.machine.privileged_mode():
+                self.hooks.after_return(self, frame.function)
+        if not self.frames:
+            raise MachineHalt(value or 0)
+        if frame.call_site is not None and value is not None:
+            self.frames[-1].regs[frame.call_site] = value & _WORD
+
+    # -- pure computations ---------------------------------------------------
+
+    def _compute_gep(self, frame: Frame, inst: GEP) -> int:
+        address = self.eval(frame, inst.pointer)
+        pointee = inst.pointer.type.pointee
+        indices = inst.indices
+        first = self.eval(frame, indices[0])
+        stride = pointee.size
+        if isinstance(pointee, ArrayType):
+            stride = pointee.size
+        address = (address + _to_signed(first, 32) * _pad4(stride)) & _WORD
+        current = pointee
+        for index in indices[1:]:
+            if isinstance(current, ArrayType):
+                i = _to_signed(self.eval(frame, index), 32)
+                address = (address + i * current.stride) & _WORD
+                current = current.element
+            elif isinstance(current, StructType):
+                i = self.eval(frame, index)
+                address = (address + current.offset_of(i)) & _WORD
+                current = current.field_type(i)
+            else:
+                raise HardFault("gep into non-aggregate at runtime")
+        return address
+
+    def _compute_binop(self, frame: Frame, inst: BinOp) -> int:
+        a = self.eval(frame, inst.operands[0])
+        b = self.eval(frame, inst.operands[1])
+        bits = inst.type.bits if isinstance(inst.type, IntType) else 32
+        mask = (1 << bits) - 1
+        op = inst.op
+        if op == "add":
+            return (a + b) & mask
+        if op == "sub":
+            return (a - b) & mask
+        if op == "mul":
+            return (a * b) & mask
+        if op == "udiv":
+            return (a // b) & mask if b else 0
+        if op == "sdiv":
+            sa, sb = _to_signed(a, bits), _to_signed(b, bits)
+            return (int(sa / sb) & mask) if sb else 0
+        if op == "urem":
+            return (a % b) & mask if b else 0
+        if op == "srem":
+            sa, sb = _to_signed(a, bits), _to_signed(b, bits)
+            return (sa - int(sa / sb) * sb) & mask if sb else 0
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return (a << (b & 31)) & mask
+        if op == "lshr":
+            return (a >> (b & 31)) & mask
+        if op == "ashr":
+            return (_to_signed(a, bits) >> (b & 31)) & mask
+        raise HardFault(f"unknown binop {op}")
+
+    def _compute_icmp(self, frame: Frame, inst: ICmp) -> int:
+        a = self.eval(frame, inst.operands[0])
+        b = self.eval(frame, inst.operands[1])
+        bits = (
+            inst.operands[0].type.bits
+            if isinstance(inst.operands[0].type, IntType)
+            else 32
+        )
+        sa, sb = _to_signed(a, bits), _to_signed(b, bits)
+        pred = inst.pred
+        result = {
+            "eq": a == b, "ne": a != b,
+            "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b,
+            "slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb,
+        }[pred]
+        return 1 if result else 0
+
+    def _compute_cast(self, frame: Frame, inst: Cast) -> int:
+        value = self.eval(frame, inst.operands[0])
+        kind = inst.kind
+        if kind in ("zext", "ptrtoint", "inttoptr", "bitcast"):
+            if isinstance(inst.type, IntType):
+                return value & inst.type.mask
+            return value & _WORD
+        if kind == "trunc":
+            return value & inst.type.mask
+        if kind == "sext":
+            src = inst.operands[0].type
+            bits = src.bits if isinstance(src, IntType) else 32
+            signed = _to_signed(value, bits)
+            mask = inst.type.mask if isinstance(inst.type, IntType) else _WORD
+            return signed & mask
+        raise HardFault(f"unknown cast {kind}")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def current_function(self) -> Optional[Function]:
+        return self.frames[-1].function if self.frames else None
+
+
+def _pad4(size: int) -> int:
+    """Pointer strides for scalars stay exact; sub-word types keep size."""
+    return size

@@ -1,0 +1,75 @@
+"""Firmware intermediate representation.
+
+The substrate standing in for LLVM IR: a typed, SSA-lite (alloca-based,
+phi-free) representation of a statically-linked bare-metal firmware
+image.  OPEC's compiler passes (:mod:`repro.analysis`,
+:mod:`repro.partition`, :mod:`repro.image`) analyse and transform it;
+the interpreter (:mod:`repro.interp`) executes it on the simulated
+machine.
+"""
+
+from .types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    I1,
+    I8,
+    I16,
+    I32,
+    VOID,
+    array,
+    ptr,
+)
+from .values import (
+    Constant,
+    ConstantNull,
+    ConstantPointer,
+    GlobalVariable,
+    Parameter,
+    Value,
+    encode_initializer,
+)
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GEP,
+    Halt,
+    ICall,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    SVC,
+    Unreachable,
+    BINARY_OPS,
+    ICMP_PREDICATES,
+)
+from .function import BasicBlock, Function
+from .module import Module
+from .builder import IRBuilder, define
+from .verifier import VerificationError, verify_module
+from .printer import print_function, print_module
+from .parser import ParseError, parse_module
+
+__all__ = [
+    "ArrayType", "FunctionType", "IntType", "PointerType", "StructType",
+    "Type", "VoidType", "I1", "I8", "I16", "I32", "VOID", "array", "ptr",
+    "Constant", "ConstantNull", "ConstantPointer", "GlobalVariable",
+    "Parameter", "Value", "encode_initializer",
+    "Alloca", "BinOp", "Br", "Call", "Cast", "GEP", "Halt", "ICall",
+    "ICmp", "Instruction", "Jump", "Load", "Ret", "Select", "Store",
+    "SVC", "Unreachable", "BINARY_OPS", "ICMP_PREDICATES",
+    "BasicBlock", "Function", "Module", "IRBuilder", "define",
+    "VerificationError", "verify_module", "print_function", "print_module",
+    "ParseError", "parse_module",
+]

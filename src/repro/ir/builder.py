@@ -1,0 +1,298 @@
+"""IRBuilder: the ergonomic construction API for firmware IR.
+
+Modelled on LLVM's ``IRBuilder``, plus structured-control-flow context
+managers (``if_then``, ``if_else``, ``while_loop``, ``for_range``) so
+the applications in :mod:`repro.apps` read like the C they stand in
+for.  All locals are ``alloca`` slots (clang -O0 style), which keeps
+both the interpreter and the analyses free of SSA phi handling.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional, Sequence, Union
+
+from .function import BasicBlock, Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GEP,
+    Halt,
+    ICall,
+    ICmp,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    SVC,
+    Unreachable,
+)
+from .module import Module
+from .types import FunctionType, IntType, Type, I8, I32, VOID, ptr
+from .values import Constant, ConstantNull, ConstantPointer, Value
+
+IntOrValue = Union[int, Value]
+
+
+class IRBuilder:
+    """Appends instructions to a current basic block."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None):
+        self.function = function
+        if block is None:
+            block = function.blocks[0] if function.blocks else function.add_block("entry")
+        self.block = block
+        self._name_counter = 0
+
+    # -- positioning ---------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        return self.function.add_block(name or self._fresh("bb"))
+
+    def _fresh(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    def _emit(self, inst):
+        return self.block.append(inst)
+
+    # -- constants -----------------------------------------------------
+
+    def const(self, value: int, type_: IntType = I32) -> Constant:
+        return Constant(value, type_)
+
+    def mmio(self, address: int, type_: Type = I32) -> ConstantPointer:
+        """A constant pointer to a memory-mapped register."""
+        return ConstantPointer(address, ptr(type_))
+
+    def null(self, pointee: Type) -> ConstantNull:
+        return ConstantNull(ptr(pointee))
+
+    def _as_value(self, value: IntOrValue, type_: IntType = I32) -> Value:
+        return Constant(value, type_) if isinstance(value, int) else value
+
+    # -- memory ----------------------------------------------------------
+
+    def alloca(self, type_: Type, count: int = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(type_, count, name or self._fresh("slot")))
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self._emit(Load(pointer, name or self._fresh("v")))
+
+    def store(self, value: IntOrValue, pointer: Value) -> Store:
+        if isinstance(value, int):
+            pointee = pointer.type.pointee
+            itype = pointee if isinstance(pointee, IntType) else I32
+            value = Constant(value, itype)
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, *indices: IntOrValue, name: str = "") -> GEP:
+        idx = [self._as_value(i) for i in indices]
+        return self._emit(GEP(pointer, idx, name or self._fresh("p")))
+
+    # -- arithmetic ------------------------------------------------------
+
+    def binop(self, op: str, lhs: IntOrValue, rhs: IntOrValue, name: str = "") -> BinOp:
+        lhs = self._as_value(lhs)
+        rhs = self._as_value(rhs, lhs.type if isinstance(lhs.type, IntType) else I32)
+        return self._emit(BinOp(op, lhs, rhs, name or self._fresh("t")))
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def udiv(self, a, b, name=""):
+        return self.binop("udiv", a, b, name)
+
+    def urem(self, a, b, name=""):
+        return self.binop("urem", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop("and", a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop("or", a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a, b, name=""):
+        return self.binop("lshr", a, b, name)
+
+    def icmp(self, pred: str, lhs: IntOrValue, rhs: IntOrValue, name: str = "") -> ICmp:
+        lhs = self._as_value(lhs)
+        rhs = self._as_value(rhs, lhs.type if isinstance(lhs.type, IntType) else I32)
+        return self._emit(ICmp(pred, lhs, rhs, name or self._fresh("c")))
+
+    def select(self, cond: Value, a: IntOrValue, b: IntOrValue, name: str = "") -> Select:
+        a = self._as_value(a)
+        b = self._as_value(b, a.type if isinstance(a.type, IntType) else I32)
+        return self._emit(Select(cond, a, b, name or self._fresh("s")))
+
+    def cast(self, kind: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        return self._emit(Cast(kind, value, to_type, name or self._fresh("x")))
+
+    def zext(self, value, to_type=I32, name=""):
+        return self.cast("zext", value, to_type, name)
+
+    def trunc(self, value, to_type=I8, name=""):
+        return self.cast("trunc", value, to_type, name)
+
+    def ptrtoint(self, value, name=""):
+        return self.cast("ptrtoint", value, I32, name)
+
+    def inttoptr(self, value, pointee: Type, name=""):
+        return self.cast("inttoptr", self._as_value(value), ptr(pointee), name)
+
+    def bitcast(self, value, to_type: Type, name=""):
+        return self.cast("bitcast", value, to_type, name)
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, callee: Function, *args: IntOrValue, name: str = "") -> Call:
+        coerced = []
+        for formal, actual in zip(callee.ftype.params, args):
+            if isinstance(actual, int):
+                itype = formal if isinstance(formal, IntType) else I32
+                actual = Constant(actual, itype)
+            coerced.append(actual)
+        coerced.extend(self._as_value(a) for a in args[len(callee.ftype.params):])
+        return self._emit(Call(callee, coerced, name or self._fresh("r")))
+
+    def icall(self, target: Value, callee_type: FunctionType,
+              *args: IntOrValue, name: str = "") -> ICall:
+        coerced = [self._as_value(a) for a in args]
+        return self._emit(ICall(target, callee_type, coerced, name or self._fresh("r")))
+
+    def svc(self, number: int, payload: int = 0) -> SVC:
+        return self._emit(SVC(number, payload))
+
+    # -- terminators ---------------------------------------------------------
+
+    def br(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> Br:
+        return self._emit(Br(cond, then_block, else_block))
+
+    def jump(self, target: BasicBlock) -> Jump:
+        return self._emit(Jump(target))
+
+    def ret(self, value: Optional[IntOrValue] = None) -> Ret:
+        if isinstance(value, int):
+            rtype = self.function.return_type
+            itype = rtype if isinstance(rtype, IntType) else I32
+            value = Constant(value, itype)
+        return self._emit(Ret(value))
+
+    def ret_void(self) -> Ret:
+        return self._emit(Ret(None))
+
+    def halt(self, code: IntOrValue = 0) -> Halt:
+        return self._emit(Halt(self._as_value(code)))
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())
+
+    # -- structured control flow ----------------------------------------------
+
+    @contextmanager
+    def if_then(self, cond: Value):
+        """``if (cond) { body }``."""
+        then_block = self.add_block("then")
+        merge = self.add_block("endif")
+        self.br(cond, then_block, merge)
+        self.position_at_end(then_block)
+        yield
+        if self.block.terminator is None:
+            self.jump(merge)
+        self.position_at_end(merge)
+
+    @contextmanager
+    def if_else(self, cond: Value):
+        """``if (cond) { A } else { B }``; yields a switcher callable.
+
+        Usage::
+
+            with b.if_else(cond) as otherwise:
+                ...then code...
+                otherwise()
+                ...else code...
+        """
+        then_block = self.add_block("then")
+        else_block = self.add_block("else")
+        merge = self.add_block("endif")
+        self.br(cond, then_block, else_block)
+        self.position_at_end(then_block)
+
+        def otherwise():
+            if self.block.terminator is None:
+                self.jump(merge)
+            self.position_at_end(else_block)
+
+        yield otherwise
+        if self.block.terminator is None:
+            self.jump(merge)
+        self.position_at_end(merge)
+
+    @contextmanager
+    def while_loop(self, cond_fn: Callable[[], Value]):
+        """``while (cond) { body }``; ``cond_fn`` emits into the header."""
+        header = self.add_block("while.head")
+        body = self.add_block("while.body")
+        exit_block = self.add_block("while.end")
+        self.jump(header)
+        self.position_at_end(header)
+        cond = cond_fn()
+        self.br(cond, body, exit_block)
+        self.position_at_end(body)
+        yield exit_block
+        if self.block.terminator is None:
+            self.jump(header)
+        self.position_at_end(exit_block)
+
+    @contextmanager
+    def for_range(self, start: IntOrValue, stop: IntOrValue, step: int = 1):
+        """``for (i = start; i < stop; i += step)``; yields loader for i."""
+        ivar = self.alloca(I32, name="i")
+        self.store(self._as_value(start), ivar)
+        stop_v = self._as_value(stop)
+        header = self.add_block("for.head")
+        body = self.add_block("for.body")
+        exit_block = self.add_block("for.end")
+        self.jump(header)
+        self.position_at_end(header)
+        cur = self.load(ivar)
+        self.br(self.icmp("slt", cur, stop_v), body, exit_block)
+        self.position_at_end(body)
+        yield lambda: self.load(ivar)
+        if self.block.terminator is None:
+            nxt = self.add(self.load(ivar), step)
+            self.store(nxt, ivar)
+            self.jump(header)
+        self.position_at_end(exit_block)
+
+
+def define(
+    module: Module,
+    name: str,
+    ret: Type = VOID,
+    params: Sequence[Type] = (),
+    **attrs,
+) -> tuple[Function, IRBuilder]:
+    """Create a function with an entry block and return it + a builder."""
+    func = Function(name, FunctionType(ret, params), **attrs)
+    module.add_function(func)
+    return func, IRBuilder(func)

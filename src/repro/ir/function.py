@@ -1,0 +1,120 @@
+"""Functions and basic blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Parameter, Value
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        self.name = name
+        self.parent = parent
+        self.instructions: list[Instruction] = []
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise ValueError(f"block {self.name} already has a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        return list(term.successors) if term is not None else []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function(Value):
+    """A firmware function.
+
+    Attributes used by OPEC and the baselines:
+
+    * ``source_file`` — "which .c file this came from"; drives the ACES
+      filename partitioning strategies and Table 2.
+    * ``is_interrupt_handler`` — IRQ handlers are excluded from being
+      operation entries (§4.3) and run privileged.
+    * ``is_monitor`` — part of OPEC-Monitor / startup code; always
+      privileged, never partitioned into an operation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ftype: FunctionType,
+        *,
+        source_file: str = "",
+        is_interrupt_handler: bool = False,
+        irq_number: Optional[int] = None,
+        is_monitor: bool = False,
+    ):
+        super().__init__(ftype, name)
+        self.params = [
+            Parameter(ptype, f"arg{i}", i) for i, ptype in enumerate(ftype.params)
+        ]
+        self.blocks: list[BasicBlock] = []
+        self.source_file = source_file
+        self.is_interrupt_handler = is_interrupt_handler or irq_number is not None
+        self.irq_number = irq_number
+        self.is_monitor = is_monitor
+
+    @property
+    def ftype(self) -> FunctionType:
+        return self.type  # type: ignore[return-value]
+
+    @property
+    def return_type(self) -> Type:
+        return self.ftype.ret
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def add_block(self, name: str) -> BasicBlock:
+        # Block names label branch targets in the textual format, so
+        # they must be unique within the function.
+        existing = {b.name for b in self.blocks}
+        if name in existing:
+            suffix = 1
+            while f"{name}.{suffix}" in existing:
+                suffix += 1
+            name = f"{name}.{suffix}"
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} {self.ftype}>"

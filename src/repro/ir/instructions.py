@@ -1,0 +1,348 @@
+"""IR instructions.
+
+The instruction set is the minimal subset needed to express real
+firmware the way clang emits it at -O0: locals are ``alloca`` slots,
+every variable access is an explicit ``load``/``store``, address
+arithmetic is ``gep``, and control flow is ``br``/``jump``/``ret``.
+
+Two instructions exist specifically for OPEC:
+
+* :class:`SVC` — the supervisor call the instrumentation pass inserts
+  before/after operation entry call sites (§4.4); it traps into the
+  monitor.
+* :class:`Halt` — stops the machine (end of firmware / profiling stop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    I32,
+    VOID,
+)
+from .values import Constant, Value
+
+BINARY_OPS = ("add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+              "and", "or", "xor", "shl", "lshr", "ashr")
+ICMP_PREDICATES = ("eq", "ne", "ult", "ule", "ugt", "uge",
+                   "slt", "sle", "sgt", "sge")
+CAST_KINDS = ("zext", "sext", "trunc", "ptrtoint", "inttoptr", "bitcast")
+
+
+class Instruction(Value):
+    """Base class: an operation inside a basic block, also a value."""
+
+    opcode = "?"
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name)
+        self.operands = list(operands)
+        self.parent = None  # set when appended to a BasicBlock
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def function(self):
+        return self.parent.parent if self.parent is not None else None
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.short() for op in self.operands)
+        return f"<{self.opcode} {ops}>"
+
+
+class Alloca(Instruction):
+    """Reserve ``count`` objects of ``allocated_type`` on the stack."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, count: int = 1, name: str = ""):
+        super().__init__(PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+        self.count = count
+
+    @property
+    def byte_size(self) -> int:
+        if isinstance(self.allocated_type, (ArrayType, StructType)):
+            stride = self.allocated_type.size
+        else:
+            stride = max(self.allocated_type.size, 1)
+        # Keep the stack word-aligned like the AAPCS requires.
+        stride = (stride + 3) // 4 * 4
+        return stride * self.count
+
+
+class Load(Instruction):
+    """Read a scalar from memory through a pointer operand."""
+
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load from non-pointer {pointer.type}")
+        result = pointer.type.pointee
+        if not result.is_scalar:
+            raise TypeError(f"load of non-scalar type {result}")
+        super().__init__(result, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Write a scalar value to memory through a pointer operand."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store to non-pointer {pointer.type}")
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GEP(Instruction):
+    """Get-element-pointer: typed address arithmetic.
+
+    Follows LLVM semantics: the first index scales by the pointee size;
+    subsequent indices step into arrays/structs.  Struct indices must be
+    constants.
+    """
+
+    opcode = "gep"
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"gep on non-pointer {pointer.type}")
+        result = _gep_result_type(pointer.type, indices)
+        super().__init__(result, [pointer, *indices], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> list[Value]:
+        return self.operands[1:]
+
+
+def _gep_result_type(ptr_type: PointerType, indices: Sequence[Value]) -> PointerType:
+    current: Type = ptr_type.pointee
+    for index in indices[1:]:
+        if isinstance(current, ArrayType):
+            current = current.element
+        elif isinstance(current, StructType):
+            if not isinstance(index, Constant):
+                raise TypeError("struct gep index must be a constant")
+            current = current.field_type(index.value)
+        else:
+            raise TypeError(f"cannot index into {current}")
+    return PointerType(current)
+
+
+class BinOp(Instruction):
+    """Two-operand integer arithmetic / bitwise operation."""
+
+    opcode = "binop"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"<{self.op} {self.operands[0].short()}, {self.operands[1].short()}>"
+
+
+class ICmp(Instruction):
+    """Integer comparison producing 0/1 as an i32."""
+
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = ""):
+        if pred not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {pred!r}")
+        super().__init__(I32, [lhs, rhs], name)
+        self.pred = pred
+
+
+class Cast(Instruction):
+    """Width/kind conversion between scalars."""
+
+    opcode = "cast"
+
+    def __init__(self, kind: str, value: Value, to_type: Type, name: str = ""):
+        if kind not in CAST_KINDS:
+            raise ValueError(f"unknown cast kind {kind!r}")
+        super().__init__(to_type, [value], name)
+        self.kind = kind
+
+
+class Select(Instruction):
+    """``cond ? a : b`` on scalars."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, a: Value, b: Value, name: str = ""):
+        super().__init__(a.type, [cond, a, b], name)
+
+
+class Call(Instruction):
+    """Direct call to a known function."""
+
+    opcode = "call"
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        ftype: FunctionType = callee.type
+        super().__init__(ftype.ret, list(args), name)
+        self.callee = callee
+
+    def __repr__(self) -> str:
+        return f"<call @{self.callee.name}>"
+
+
+class ICall(Instruction):
+    """Indirect call through a function-pointer value."""
+
+    opcode = "icall"
+
+    def __init__(self, target: Value, callee_type: FunctionType,
+                 args: Sequence[Value], name: str = ""):
+        super().__init__(callee_type.ret, [target, *args], name)
+        self.callee_type = callee_type
+
+    @property
+    def target(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> list[Value]:
+        return self.operands[1:]
+
+
+class Br(Instruction):
+    """Conditional branch (non-zero condition takes ``then``)."""
+
+    opcode = "br"
+
+    def __init__(self, cond: Value, then_block, else_block):
+        super().__init__(VOID, [cond])
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> list:
+        return [self.then_block, self.else_block]
+
+
+class Jump(Instruction):
+    """Unconditional branch."""
+
+    opcode = "jump"
+
+    def __init__(self, target):
+        super().__init__(VOID, [])
+        self.target = target
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> list:
+        return [self.target]
+
+
+class Ret(Instruction):
+    """Return from the current function."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def successors(self) -> list:
+        return []
+
+
+class SVC(Instruction):
+    """Supervisor call: traps to the privileged monitor.
+
+    ``number`` selects the service; OPEC uses ``OP_ENTER``/``OP_EXIT``
+    with the operation id as the payload.  The instrumentation pass is
+    the only producer in OPEC builds; applications may also use it to
+    request monitor services (none do by default).
+    """
+
+    opcode = "svc"
+
+    OP_ENTER = 1
+    OP_EXIT = 2
+
+    def __init__(self, number: int, payload: int = 0):
+        super().__init__(VOID, [])
+        self.number = number
+        self.payload = payload
+
+
+class Halt(Instruction):
+    """Stop the machine; carries the firmware's exit code."""
+
+    opcode = "halt"
+
+    def __init__(self, code: Value):
+        super().__init__(VOID, [code])
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> list:
+        return []
+
+
+class Unreachable(Instruction):
+    """Marks a point control flow must never reach (traps if executed)."""
+
+    opcode = "unreachable"
+
+    def __init__(self):
+        super().__init__(VOID, [])
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    @property
+    def successors(self) -> list:
+        return []

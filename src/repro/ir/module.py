@@ -1,0 +1,89 @@
+"""The IR module: the unit the OPEC compiler operates on.
+
+A module is a whole statically-linked firmware: every function and
+global variable of the application, its libraries, and the HAL — the
+bare-metal setting of the paper (§2.1, "statically linked binary").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .function import Function
+from .types import FunctionType, StructType, Type
+from .values import GlobalVariable, Initializer
+
+
+class Module:
+    """A collection of functions, globals, and named struct types."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+        self.structs: dict[str, StructType] = {}
+
+    # -- functions ---------------------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def declare_function(self, name: str, ftype: FunctionType, **attrs) -> Function:
+        return self.add_function(Function(name, ftype, **attrs))
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def iter_functions(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    # -- globals -----------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: Initializer = None,
+        **attrs,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name!r}")
+        gvar = GlobalVariable(name, value_type, initializer, **attrs)
+        self.globals[name] = gvar
+        return gvar
+
+    def get_global(self, name: str) -> GlobalVariable:
+        return self.globals[name]
+
+    def iter_globals(self) -> Iterator[GlobalVariable]:
+        return iter(self.globals.values())
+
+    # -- structs -----------------------------------------------------
+
+    def add_struct(self, struct: StructType) -> StructType:
+        self.structs[struct.name] = struct
+        return struct
+
+    def struct(self, name: str, fields) -> StructType:
+        return self.add_struct(StructType(name, fields))
+
+    # -- queries used by evaluation ----------------------------------
+
+    def writable_globals(self) -> list[GlobalVariable]:
+        """All globals that live in SRAM (non-const)."""
+        return [g for g in self.globals.values() if not g.is_const]
+
+    def total_global_bytes(self) -> int:
+        return sum(g.size for g in self.writable_globals())
+
+    def defined_functions(self) -> list[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,209 @@
+"""Textual printer for IR modules.
+
+Emits the OPEC-IR assembly format — an LLVM-flavoured, fully typed
+syntax that :mod:`repro.ir.parser` parses back.  ``parse_module ∘
+print_module`` is the identity on semantics (and on text after one
+round trip), so firmware can live in ``.oir`` files.
+
+Format sketch::
+
+    ; module pinlock
+    %UART_Handle = type { i32 instance, i32 baudrate }
+    @KEY = global i32 0, file "main.c"
+    @pin = constant [4 x i8] c"31323334"
+
+    define void @Unlock_Task() file "main.c" {
+    entry:
+      %0 = load i32, i32* @KEY
+      %1 = icmp eq i32 %0, i32 5
+      br i32 %1, label %then, label %endif
+    then:
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GEP,
+    Halt,
+    ICall,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    SVC,
+    Unreachable,
+)
+from .module import Module
+from .values import (
+    Constant,
+    ConstantNull,
+    ConstantPointer,
+    GlobalVariable,
+    Parameter,
+)
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as OPEC-IR text."""
+    lines = [f"; module {module.name}"]
+    for struct in module.structs.values():
+        fields = ", ".join(f"{t} {n}" for n, t in struct.fields)
+        lines.append(f"%{struct.name} = type {{ {fields} }}")
+    for gvar in module.iter_globals():
+        lines.append(_render_global(gvar))
+    lines.append("")
+    for func in module.iter_functions():
+        lines.append(print_function(func))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_global(gvar: GlobalVariable) -> str:
+    kind = "constant" if gvar.is_const else "global"
+    init = gvar.encode_initializer()
+    if gvar.value_type.is_scalar:
+        value = str(int.from_bytes(init, "little"))
+    elif any(init):
+        value = f'c"{init.hex().upper()}"'
+    else:
+        value = "zeroinitializer"
+    text = f"@{gvar.name} = {kind} {gvar.value_type} {value}"
+    if gvar.source_file:
+        text += f', file "{gvar.source_file}"'
+    if gvar.sanitize_range is not None:
+        lo, hi = gvar.sanitize_range
+        text += f", sanitize {lo} {hi}"
+    return text
+
+
+def print_function(func: Function) -> str:
+    params = ", ".join(f"{p.type} %{p.name}" for p in func.params)
+    header = f"define {func.return_type} @{func.name}({params})"
+    if func.source_file:
+        header += f' file "{func.source_file}"'
+    if func.irq_number is not None:
+        header += f" irq {func.irq_number}"
+    elif func.is_interrupt_handler:
+        header += " interrupt"
+    if func.is_monitor:
+        header += " monitor"
+    if func.is_declaration:
+        return header.replace("define", "declare", 1)
+    names = _assign_names(func)
+    lines = [header + " {"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {_render(inst, names)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _assign_names(func: Function) -> dict[Instruction, str]:
+    names: dict[Instruction, str] = {}
+    counter = 0
+    for inst in func.iter_instructions():
+        if inst.type.size > 0:
+            names[inst] = f"%v{counter}"
+            counter += 1
+    return names
+
+
+def _operand(value, names) -> str:
+    """``<type> <ref>`` for any operand."""
+    return f"{value.type} {_ref(value, names)}"
+
+
+def _ref(value, names) -> str:
+    if isinstance(value, Instruction):
+        return names[value]
+    if isinstance(value, Parameter):
+        return f"%{value.name}"
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, Function):
+        return f"@{value.name}"
+    if isinstance(value, ConstantPointer):
+        return f"0x{value.address:08X}"
+    if isinstance(value, ConstantNull):
+        return "null"
+    if isinstance(value, Constant):
+        return str(value.value)
+    raise TypeError(f"unprintable operand {value!r}")
+
+
+def _render(inst: Instruction, names) -> str:
+    out = names.get(inst)
+    prefix = f"{out} = " if out else ""
+    if isinstance(inst, Alloca):
+        return f"{prefix}alloca {inst.allocated_type} x {inst.count}"
+    if isinstance(inst, Load):
+        return f"{prefix}load {inst.type}, {_operand(inst.pointer, names)}"
+    if isinstance(inst, Store):
+        return (
+            f"store {_operand(inst.value, names)}, "
+            f"{_operand(inst.pointer, names)}"
+        )
+    if isinstance(inst, GEP):
+        parts = [_operand(inst.pointer, names)]
+        parts.extend(_operand(i, names) for i in inst.indices)
+        return f"{prefix}gep {', '.join(parts)}"
+    if isinstance(inst, BinOp):
+        return (
+            f"{prefix}{inst.op} {_operand(inst.operands[0], names)}, "
+            f"{_operand(inst.operands[1], names)}"
+        )
+    if isinstance(inst, ICmp):
+        return (
+            f"{prefix}icmp {inst.pred} {_operand(inst.operands[0], names)}, "
+            f"{_operand(inst.operands[1], names)}"
+        )
+    if isinstance(inst, Cast):
+        return (
+            f"{prefix}{inst.kind} {_operand(inst.operands[0], names)} "
+            f"to {inst.type}"
+        )
+    if isinstance(inst, Select):
+        ops = ", ".join(_operand(o, names) for o in inst.operands)
+        return f"{prefix}select {ops}"
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a, names) for a in inst.operands)
+        return (
+            f"{prefix}call {inst.callee.return_type} "
+            f"@{inst.callee.name}({args})"
+        )
+    if isinstance(inst, ICall):
+        args = ", ".join(_operand(a, names) for a in inst.args)
+        return (
+            f"{prefix}icall {inst.callee_type} "
+            f"{_operand(inst.target, names)}({args})"
+        )
+    if isinstance(inst, Br):
+        return (
+            f"br {_operand(inst.operands[0], names)}, "
+            f"label %{inst.then_block.name}, label %{inst.else_block.name}"
+        )
+    if isinstance(inst, Jump):
+        return f"jump label %{inst.target.name}"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_operand(inst.value, names)}"
+    if isinstance(inst, SVC):
+        return f"svc #{inst.number}, {inst.payload}"
+    if isinstance(inst, Halt):
+        return f"halt {_operand(inst.operands[0], names)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise TypeError(f"unprintable instruction {inst.opcode}")

@@ -1,0 +1,237 @@
+"""Type system for the firmware IR.
+
+The IR models the subset of LLVM types the OPEC compiler passes care
+about: fixed-width integers, pointers, arrays, structs, and function
+types.  Every first-class runtime value is a scalar (integer or
+pointer); aggregates exist only in memory and are manipulated through
+``gep`` + ``load``/``store``, mirroring how clang lowers C at -O0.
+
+All sizes are in bytes on a 32-bit machine (ARMv7-M): pointers are four
+bytes, and struct fields are naturally aligned up to a maximum of four
+bytes, which matches the AAPCS layout for the types we use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_POINTER_SIZE = 4
+_MAX_ALIGN = 4
+
+
+def _align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+class Type:
+    """Base class of all IR types.
+
+    Types are immutable and compared structurally.  ``size`` is the
+    in-memory footprint in bytes; ``alignment`` the natural alignment.
+    """
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def alignment(self) -> int:
+        return min(self.size, _MAX_ALIGN) or 1
+
+    @property
+    def is_scalar(self) -> bool:
+        """Whether values of this type can live in a virtual register."""
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of functions that return nothing."""
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def _key(self) -> tuple:
+        return ("void",)
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width two's-complement integer (i8, i16, i32)."""
+
+    def __init__(self, bits: int):
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    def _key(self) -> tuple:
+        return ("int", self.bits)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class PointerType(Type):
+    """A pointer to ``pointee``.  Pointers are 32-bit addresses."""
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    @property
+    def size(self) -> int:
+        return _POINTER_SIZE
+
+    @property
+    def is_scalar(self) -> bool:
+        return True
+
+    def _key(self) -> tuple:
+        return ("ptr", self.pointee._key())
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A contiguous array ``[count x element]``."""
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    @property
+    def size(self) -> int:
+        return _align_up(self.element.size, self.element.alignment) * self.count
+
+    @property
+    def alignment(self) -> int:
+        return self.element.alignment
+
+    @property
+    def stride(self) -> int:
+        """Distance in bytes between consecutive elements."""
+        return _align_up(self.element.size, self.element.alignment)
+
+    def _key(self) -> tuple:
+        return ("array", self.element._key(), self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class StructType(Type):
+    """A named struct with naturally-aligned fields.
+
+    Field offsets are computed once at construction; ``offset_of`` and
+    ``field_type`` drive both ``gep`` lowering and the points-to
+    analysis' field handling.
+    """
+
+    def __init__(self, name: str, fields: Sequence[tuple[str, Type]]):
+        self.name = name
+        self.fields = list(fields)
+        self._offsets: list[int] = []
+        offset = 0
+        for _, ftype in self.fields:
+            offset = _align_up(offset, ftype.alignment)
+            self._offsets.append(offset)
+            offset += ftype.size
+        self._size = _align_up(offset, self.alignment) if self.fields else 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def alignment(self) -> int:
+        if not self.fields:
+            return 1
+        return max(ftype.alignment for _, ftype in self.fields)
+
+    def offset_of(self, index: int) -> int:
+        return self._offsets[index]
+
+    def field_type(self, index: int) -> Type:
+        return self.fields[index][1]
+
+    def field_index(self, name: str) -> int:
+        for i, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def _key(self) -> tuple:
+        return ("struct", self.name)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    def __init__(self, ret: Type, params: Iterable[Type], variadic: bool = False):
+        self.ret = ret
+        self.params = tuple(params)
+        self.variadic = variadic
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def _key(self) -> tuple:
+        return ("fn", self.ret._key(), tuple(p._key() for p in self.params), self.variadic)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.ret} ({params})"
+
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def array(element: Type, count: int) -> ArrayType:
+    """Shorthand for :class:`ArrayType`."""
+    return ArrayType(element, count)

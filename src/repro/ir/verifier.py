@@ -1,0 +1,238 @@
+"""IR verifier.
+
+Checks module well-formedness before the compiler pipeline runs:
+terminators, operand typing, call signatures, and SSA dominance
+(every use of an instruction result must be dominated by its
+definition).  A malformed module raises :class:`VerificationError`
+with every finding collected, not just the first.
+"""
+
+from __future__ import annotations
+
+from .function import BasicBlock, Function
+from .instructions import (
+    Br,
+    Call,
+    ICall,
+    Instruction,
+    Ret,
+    Store,
+)
+from .module import Module
+from .types import FunctionType, IntType, PointerType, VoidType
+from .values import Constant, ConstantNull, ConstantPointer, GlobalVariable, Parameter, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module fails verification; carries all findings."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function in ``module``; raise on failure."""
+    errors: list[str] = []
+    for func in module.iter_functions():
+        if func.is_declaration:
+            continue
+        errors.extend(_verify_function(func))
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(func: Function) -> list[str]:
+    errors: list[str] = []
+    where = f"@{func.name}"
+
+    if not func.blocks:
+        return [f"{where}: defined function has no blocks"]
+
+    for block in func.blocks:
+        if block.terminator is None:
+            errors.append(f"{where}:{block.name}: missing terminator")
+        for i, inst in enumerate(block.instructions[:-1]):
+            if inst.is_terminator:
+                errors.append(
+                    f"{where}:{block.name}: terminator at position {i} "
+                    f"is not last"
+                )
+
+    errors.extend(_verify_types(func, where))
+    errors.extend(_verify_dominance(func, where))
+    return errors
+
+
+def _verify_types(func: Function, where: str) -> list[str]:
+    errors = []
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Store):
+                ptr_t = inst.pointer.type
+                if not isinstance(ptr_t, PointerType):
+                    errors.append(f"{where}: store through non-pointer")
+                elif ptr_t.pointee.is_scalar and inst.value.type != ptr_t.pointee:
+                    errors.append(
+                        f"{where}:{block.name}: store type mismatch "
+                        f"{inst.value.type} -> {ptr_t.pointee}"
+                    )
+            elif isinstance(inst, Call):
+                ftype: FunctionType = inst.callee.ftype
+                if not ftype.variadic and len(inst.operands) != len(ftype.params):
+                    errors.append(
+                        f"{where}: call to @{inst.callee.name} with "
+                        f"{len(inst.operands)} args, expected {len(ftype.params)}"
+                    )
+                for arg, formal in zip(inst.operands, ftype.params):
+                    if arg.type != formal and not _compatible(arg.type, formal):
+                        errors.append(
+                            f"{where}: call @{inst.callee.name} arg type "
+                            f"{arg.type} != {formal}"
+                        )
+            elif isinstance(inst, ICall):
+                if not isinstance(inst.target.type, (PointerType, IntType)):
+                    errors.append(f"{where}: icall through non-pointer/int value")
+            elif isinstance(inst, Br):
+                if not isinstance(inst.operands[0].type, IntType):
+                    errors.append(f"{where}: branch condition is not an integer")
+            elif isinstance(inst, Ret):
+                ret_t = func.return_type
+                if inst.value is None:
+                    if not isinstance(ret_t, VoidType):
+                        errors.append(f"{where}: ret void from non-void function")
+                elif isinstance(ret_t, VoidType):
+                    errors.append(f"{where}: ret value from void function")
+                elif inst.value.type != ret_t and not _compatible(inst.value.type, ret_t):
+                    errors.append(
+                        f"{where}: ret type {inst.value.type} != {ret_t}"
+                    )
+    return errors
+
+
+def _compatible(actual, formal) -> bool:
+    """Pointer-to-pointer passing is permitted (C-style decay/casting)."""
+    return isinstance(actual, PointerType) and isinstance(formal, PointerType)
+
+
+def _verify_dominance(func: Function, where: str) -> list[str]:
+    errors = []
+    reachable = _reachable_blocks(func)
+    idom = _immediate_dominators(func, reachable)
+
+    order = {b: i for i, b in enumerate(func.blocks)}
+    positions: dict[Instruction, tuple[BasicBlock, int]] = {}
+    for block in func.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[inst] = (block, i)
+
+    def dominates(def_pos: tuple[BasicBlock, int], use_pos: tuple[BasicBlock, int]) -> bool:
+        dblock, dindex = def_pos
+        ublock, uindex = use_pos
+        if dblock is ublock:
+            return dindex < uindex
+        node = ublock
+        while node is not None and node is not dblock:
+            node = idom.get(node)
+        return node is dblock
+
+    for block in func.blocks:
+        if block not in reachable:
+            continue
+        for i, inst in enumerate(block.instructions):
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if op not in positions:
+                        errors.append(
+                            f"{where}:{block.name}: operand from another function"
+                        )
+                    elif not dominates(positions[op], (block, i)):
+                        errors.append(
+                            f"{where}:{block.name}: use of {op.short()} "
+                            f"not dominated by its definition"
+                        )
+                elif not isinstance(
+                    op,
+                    (Constant, ConstantPointer, ConstantNull, GlobalVariable,
+                     Parameter, Function, Value),
+                ):
+                    errors.append(f"{where}: invalid operand {op!r}")
+                if isinstance(op, Parameter) and op not in func.params:
+                    errors.append(
+                        f"{where}:{block.name}: parameter of another function"
+                    )
+    return errors
+
+
+def _reachable_blocks(func: Function) -> set[BasicBlock]:
+    seen: set[BasicBlock] = set()
+    stack = [func.entry_block]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors)
+    return seen
+
+
+def _immediate_dominators(
+    func: Function, reachable: set[BasicBlock]
+) -> dict[BasicBlock, BasicBlock]:
+    """Cooper-Harvey-Kennedy iterative dominator computation."""
+    entry = func.entry_block
+    # Reverse postorder over reachable blocks.
+    postorder: list[BasicBlock] = []
+    visited: set[BasicBlock] = set()
+
+    def dfs(block: BasicBlock) -> None:
+        visited.add(block)
+        for succ in block.successors:
+            if succ not in visited:
+                dfs(succ)
+        postorder.append(block)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        dfs(entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    rpo = list(reversed(postorder))
+    rpo_index = {b: i for i, b in enumerate(rpo)}
+    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in rpo}
+    for block in rpo:
+        for succ in block.successors:
+            if succ in rpo_index:
+                preds[succ].append(block)
+
+    idom: dict[BasicBlock, BasicBlock] = {entry: entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            candidates = [p for p in preds[block] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = _intersect(pred, new_idom, idom, rpo_index)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+    idom[entry] = None  # type: ignore[assignment]
+    return idom
+
+
+def _intersect(a: BasicBlock, b: BasicBlock, idom, rpo_index) -> BasicBlock:
+    while a is not b:
+        while rpo_index[a] > rpo_index[b]:
+            a = idom[a]
+        while rpo_index[b] > rpo_index[a]:
+            b = idom[b]
+    return a

@@ -1,0 +1,17 @@
+"""Operation partitioning and policy generation (§4.3)."""
+
+from .operations import (
+    Operation,
+    OperationSpec,
+    PartitionError,
+    PeripheralWindow,
+    merge_peripheral_windows,
+    partition_operations,
+)
+from .policy import SystemPolicy, VariablePlacement, build_policy
+
+__all__ = [
+    "Operation", "OperationSpec", "PartitionError", "PeripheralWindow",
+    "merge_peripheral_windows", "partition_operations",
+    "SystemPolicy", "VariablePlacement", "build_policy",
+]

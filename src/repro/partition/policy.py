@@ -1,0 +1,115 @@
+"""The operation policy: the compiler's output for the monitor (§4.3).
+
+Classifies every writable global as *internal* (one accessing
+operation — placed directly in that operation's data section) or
+*external* (two or more — the original lives in the public data
+section and every accessing operation holds a shadow copy, §4.4).
+Globals touched by no operation stay public (startup/monitor data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ir.module import Module
+from ..ir.values import GlobalVariable
+from .operations import Operation
+
+
+@dataclass
+class VariablePlacement:
+    """Classification of one writable global."""
+
+    variable: GlobalVariable
+    accessors: tuple[Operation, ...]
+
+    @property
+    def is_internal(self) -> bool:
+        return len(self.accessors) == 1
+
+    @property
+    def is_external(self) -> bool:
+        return len(self.accessors) >= 2
+
+    @property
+    def is_public_only(self) -> bool:
+        return len(self.accessors) == 0
+
+
+@dataclass
+class SystemPolicy:
+    """Everything the image generator and monitor need per §4.3–§4.4."""
+
+    module: Module
+    operations: list[Operation]
+    placements: dict[GlobalVariable, VariablePlacement] = field(
+        default_factory=dict
+    )
+
+    # -- variable classification ----------------------------------------
+
+    def internal_vars(self, operation: Operation) -> list[GlobalVariable]:
+        return [
+            p.variable
+            for p in self.placements.values()
+            if p.is_internal and p.accessors[0] is operation
+        ]
+
+    def external_vars(self, operation: Operation) -> list[GlobalVariable]:
+        return [
+            p.variable
+            for p in self.placements.values()
+            if p.is_external and operation in p.accessors
+        ]
+
+    def all_external_vars(self) -> list[GlobalVariable]:
+        return [p.variable for p in self.placements.values() if p.is_external]
+
+    def public_only_vars(self) -> list[GlobalVariable]:
+        return [p.variable for p in self.placements.values() if p.is_public_only]
+
+    def accessors_of(self, gvar: GlobalVariable) -> tuple[Operation, ...]:
+        placement = self.placements.get(gvar)
+        return placement.accessors if placement else ()
+
+    # -- lookups -----------------------------------------------------------
+
+    def operation_by_entry(self, name: str) -> Operation:
+        for operation in self.operations:
+            if operation.entry.name == name:
+                return operation
+        raise KeyError(f"no operation with entry {name!r}")
+
+    @property
+    def default_operation(self) -> Operation:
+        for operation in self.operations:
+            if operation.is_default:
+                return operation
+        raise ValueError("policy has no default operation")
+
+    def section_vars(self, operation: Operation) -> list[GlobalVariable]:
+        """Contents of an operation's data section: its internal
+        variables plus shadows of its external variables (§4.4)."""
+        return self.internal_vars(operation) + self.external_vars(operation)
+
+    def section_size(self, operation: Operation) -> int:
+        return sum(_padded(g.size) for g in self.section_vars(operation))
+
+
+def _padded(size: int) -> int:
+    """Word-align each variable inside a section."""
+    return max(4, (size + 3) // 4 * 4)
+
+
+def build_policy(module: Module, operations: Sequence[Operation]) -> SystemPolicy:
+    """Classify globals against the operations' resource dependencies."""
+    policy = SystemPolicy(module=module, operations=list(operations))
+    for gvar in module.writable_globals():
+        accessors = tuple(
+            op for op in operations if gvar in op.resources.globals_all
+        )
+        policy.placements[gvar] = VariablePlacement(
+            variable=gvar, accessors=accessors
+        )
+    return policy

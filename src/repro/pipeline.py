@@ -1,0 +1,128 @@
+"""End-to-end build-and-run facade.
+
+Mirrors Figure 5: source (an IR module) + the developer's entry list →
+static analyses → operation partitioning → policy → image generation;
+then the image runs on a simulated machine under the chosen runtime
+(vanilla baseline or OPEC-Monitor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .analysis.andersen import AndersenResult, run_andersen
+from .analysis.callgraph import CallGraph, build_call_graph
+from .analysis.resources import ResourceAnalysis
+from .hw.board import Board
+from .hw.machine import Machine
+from .image.layout import (
+    DEFAULT_HEAP_SIZE,
+    DEFAULT_STACK_SIZE,
+    Image,
+    VanillaImage,
+    build_vanilla_image,
+)
+from .image.linker import OpecImage, build_opec_image
+from .interp.hooks import RuntimeHooks
+from .interp.interpreter import Interpreter
+from .ir.module import Module
+from .ir.verifier import verify_module
+from .partition.operations import Operation, OperationSpec, partition_operations
+from .partition.policy import SystemPolicy, build_policy
+from .runtime.monitor import OpecMonitor
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything the compiler stage produced for one OPEC build."""
+
+    module: Module
+    board: Board
+    andersen: AndersenResult
+    callgraph: CallGraph
+    resources: ResourceAnalysis
+    operations: list[Operation]
+    policy: SystemPolicy
+    image: OpecImage
+
+
+def build_opec(
+    module: Module,
+    board: Board,
+    specs: Sequence[OperationSpec],
+    *,
+    stack_size: int = DEFAULT_STACK_SIZE,
+    heap_size: int = DEFAULT_HEAP_SIZE,
+    verify: bool = True,
+) -> BuildArtifacts:
+    """Run the full OPEC-Compiler pipeline (Figure 5, stage I)."""
+    if verify:
+        verify_module(module)
+    andersen = run_andersen(module)
+    graph = build_call_graph(module, andersen)
+    resources = ResourceAnalysis(module, board, andersen)
+    operations = partition_operations(module, graph, specs, resources)
+    policy = build_policy(module, operations)
+    image = build_opec_image(module, board, policy,
+                             stack_size=stack_size, heap_size=heap_size)
+    return BuildArtifacts(
+        module=module, board=board, andersen=andersen, callgraph=graph,
+        resources=resources, operations=operations, policy=policy,
+        image=image,
+    )
+
+
+def build_vanilla(module: Module, board: Board, *,
+                  stack_size: int = DEFAULT_STACK_SIZE,
+                  heap_size: int = DEFAULT_HEAP_SIZE,
+                  verify: bool = True) -> VanillaImage:
+    """The unprotected baseline build."""
+    if verify:
+        verify_module(module)
+    return build_vanilla_image(module, board,
+                               stack_size=stack_size, heap_size=heap_size)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated firmware run."""
+
+    halt_code: int
+    cycles: int
+    machine: Machine
+    interpreter: Interpreter
+    hooks: RuntimeHooks
+
+
+def run_image(
+    image: Image,
+    *,
+    hooks: Optional[RuntimeHooks] = None,
+    setup: Optional[Callable[[Machine], None]] = None,
+    entry: str = "main",
+    max_instructions: int = 100_000_000,
+) -> RunResult:
+    """Load ``image`` onto a fresh machine and run it to halt.
+
+    ``setup`` attaches device models and feeds host-side stimuli; for
+    OPEC images pass ``hooks=None`` to get a monitor automatically.
+    """
+    machine = Machine(image.board)
+    if setup is not None:
+        setup(machine)
+    image.initialize_memory(machine)
+    if hooks is None:
+        if isinstance(image, OpecImage):
+            hooks = OpecMonitor(machine, image)
+        elif image.kind == "aces":
+            from .baselines.aces.runtime import AcesRuntime
+
+            hooks = AcesRuntime(machine, image)
+    interp = Interpreter(machine, image, hooks,
+                         max_instructions=max_instructions)
+    code = interp.run(entry=entry)
+    return RunResult(
+        halt_code=code, cycles=machine.cycles, machine=machine,
+        interpreter=interp, hooks=interp.hooks,
+    )

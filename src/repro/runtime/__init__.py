@@ -1,0 +1,13 @@
+"""OPEC-Monitor: hardware-assisted operation isolation at runtime (§5)."""
+
+from .context import StackRelocation, SwitchContext
+from .monitor import OpecMonitor
+from .stack import StackProtector
+from .sync import DataSynchronizer
+from .threads import ThreadContext, ThreadSupport
+
+__all__ = [
+    "StackRelocation", "SwitchContext", "OpecMonitor",
+    "StackProtector", "DataSynchronizer",
+    "ThreadContext", "ThreadSupport",
+]

@@ -1,0 +1,32 @@
+"""Operation-switch context records (§5.3).
+
+The monitor keeps a privileged stack of these, one per in-flight
+operation entry, so nested switches (main → op, op → other op) restore
+correctly.  On real hardware this state lives in the monitor's
+privileged SRAM; unprivileged code can never reach it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..partition.operations import Operation
+
+
+@dataclass
+class StackRelocation:
+    """One relocated pointer argument (Figure 8)."""
+
+    original_address: int
+    copy_address: int
+    size: int
+
+
+@dataclass
+class SwitchContext:
+    """Saved execution context of the operation being suspended."""
+
+    previous: Operation
+    saved_sp: int
+    saved_stack_mask: int
+    relocations: list[StackRelocation] = field(default_factory=list)

@@ -1,0 +1,255 @@
+"""OPEC-Monitor: the privileged reference monitor (§5).
+
+Plugs into the interpreter as :class:`~repro.interp.hooks.RuntimeHooks`
+and enforces, at the exact hardware trap points the paper uses:
+
+* initialisation — shadow-section setup, MPU programming, privilege
+  drop (§5.1);
+* operation switching on entry-function call/return — data
+  synchronisation + sanitisation, relocation-table update, pointer
+  redirection, stack relocation, MPU reconfiguration (§5.2–§5.3);
+* MPU-region virtualisation for peripherals in the MemManage handler,
+  round-robin over the reserved regions (§5.2);
+* load/store emulation for core peripherals in the BusFault handler
+  (§5.2) — unprivileged application code never runs privileged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.exceptions import BusFault, MemManageFault, SecurityAbort
+from ..hw.machine import Machine
+from ..hw.mpu import MPURegion
+from ..image.linker import OpecImage, OperationLayout
+from ..image.mpu_config import PERIPHERAL_REGIONS, covering_regions
+from ..interp.costs import (
+    CORE_EMULATION_COST,
+    REGION_SWITCH_COST,
+    SWITCH_BASE_COST,
+    SYNC_WORD_COST,
+)
+from ..interp.hooks import RuntimeHooks
+from ..ir.function import Function
+from ..ir.values import GlobalVariable
+from ..partition.operations import Operation
+from .context import SwitchContext
+from .stack import StackProtector
+from .sync import DataSynchronizer
+
+
+class OpecMonitor(RuntimeHooks):
+    """The runtime half of OPEC."""
+
+    def __init__(self, machine: Machine, image: OpecImage):
+        self.machine = machine
+        self.image = image
+        self.policy = image.policy
+        self.sync = DataSynchronizer(machine, image)
+        self.stack = StackProtector(machine, image)
+        self.current: Operation = self.policy.default_operation
+        self.context_stack: list[SwitchContext] = []
+        self.current_stack_mask = 0
+        self._victim_rotation = 0
+        self.switch_count = 0
+        # Resolved reloc-table addresses are loop-invariant within an
+        # operation; a compiling build hoists the slot load, so the
+        # per-access cost is paid once per (operation, variable).
+        self._addr_cache: dict[GlobalVariable, int] = {}
+
+    # -- initialisation (§5.1) ------------------------------------------
+
+    def on_reset(self, interp) -> None:
+        machine = self.machine
+        # 1. Initialise every shadow copy from its public original.
+        for (op_index, gvar), shadow in self.image.shadow_addresses.items():
+            public = self.image.public_addresses[gvar]
+            blob = machine.read_bytes(public, gvar.size)
+            machine.write_bytes(shadow, blob)
+            machine.consume(SYNC_WORD_COST * ((gvar.size + 3) // 4))
+        # 2. Exception handling for SVC / MemManage / BusFault is wired
+        #    through the interpreter's hook dispatch (always enabled).
+        # 3. Configure the MPU for the default operation and drop to the
+        #    unprivileged level.
+        self.sync.update_relocation_table(self.current)
+        self.current_stack_mask = self.stack.mask_for(interp.sp)
+        self._load_mpu(self.current, self.current_stack_mask)
+        machine.mpu.enabled = True
+        machine.drop_privilege()
+
+    # -- address resolution through the relocation table -------------------
+
+    def global_address(self, interp, gvar: GlobalVariable) -> int:
+        cached = self._addr_cache.get(gvar)
+        if cached is not None:
+            return cached
+        placement = self.policy.placements.get(gvar)
+        if placement is not None and placement.is_external:
+            # The instrumented access loads the pointer slot first; the
+            # table is unprivileged-readable (Figure 6).
+            self.machine.consume(2)
+            address = self.machine.load(self.image.reloc_slots[gvar], 4)
+        else:
+            address = self.image.global_address(gvar)
+        self._addr_cache[gvar] = address
+        return address
+
+    # -- operation switching (§5.3) -------------------------------------------
+
+    def is_switch_point(self, interp, callee: Function) -> bool:
+        operation = self.image.operation_for_entry(callee)
+        return operation is not None and not operation.is_default
+
+    def before_call(self, interp, callee: Function,
+                    args: list[int]) -> list[int]:
+        target = self.image.operation_for_entry(callee)
+        assert target is not None
+        self.machine.consume(SWITCH_BASE_COST)
+        self.switch_count += 1
+        self._addr_cache.clear()
+
+        # Figure 7(b): write the suspended operation's shadows back,
+        # then refresh the entered operation's shadows.
+        self.sync.write_back(self.current)
+        self.sync.refresh(target)
+        self.sync.update_relocation_table(target)
+        self.sync.redirect_pointers(target)
+
+        # Figure 8: relocate stack-passed buffers and mask sub-regions.
+        new_args, new_sp, relocations = self.stack.relocate_arguments(
+            target, args, interp.sp
+        )
+        context = SwitchContext(
+            previous=self.current,
+            saved_sp=interp.sp,
+            saved_stack_mask=self.current_stack_mask,
+            relocations=relocations,
+        )
+        self.context_stack.append(context)
+        interp.sp = new_sp
+
+        boundary = self.stack.boundary_below(context.saved_sp)
+        self.current_stack_mask = self.stack.mask_for(boundary)
+        self.current = target
+        self._load_mpu(target, self.current_stack_mask)
+        return new_args
+
+    def after_return(self, interp, callee: Function) -> None:
+        if not self.context_stack:
+            raise SecurityAbort("operation exit without matching entry")
+        context = self.context_stack.pop()
+        self.machine.consume(SWITCH_BASE_COST)
+        self._addr_cache.clear()
+
+        # Figure 7(c): write back the exiting operation, refresh the
+        # resumed one, restore its relocation-table view.
+        self.sync.write_back(self.current)
+        previous = context.previous
+        self.sync.refresh(previous)
+        self.sync.update_relocation_table(previous)
+        self.sync.redirect_pointers(previous)
+
+        # Copy relocated buffers back and restore the stack.
+        self.stack.copy_back(context.relocations)
+        interp.sp = context.saved_sp
+        self.current = previous
+        self.current_stack_mask = context.saved_stack_mask
+        self._load_mpu(previous, self.current_stack_mask)
+        # General-purpose registers are cleared on exit (frame registers
+        # are dropped with the frame; charge the zeroing cost).
+        self.machine.consume(13)
+
+    # -- MPU loading --------------------------------------------------------
+
+    def _load_mpu(self, operation: Operation, stack_mask: int) -> None:
+        layout = self.image.layout_of(operation)
+        regions: list[MPURegion] = []
+        for template in layout.templates:
+            if template.number == 3:  # stack region gets the live mask
+                regions.append(template.instantiate(subregion_disable=stack_mask))
+            else:
+                regions.append(template.instantiate())
+        slots = list(PERIPHERAL_REGIONS)
+        if layout.uses_heap:
+            number = slots.pop(0)
+            heap_base, heap_size = self._heap_region()
+            regions.append(MPURegion(
+                number=number, base=heap_base, size=heap_size,
+                priv="RW", unpriv="RW",
+            ))
+        for (base, size), number in zip(layout.static_windows, slots):
+            regions.append(MPURegion(
+                number=number, base=base, size=size, priv="RW", unpriv="RW",
+            ))
+        self.machine.mpu.load_configuration(regions)
+
+    def _heap_region(self) -> tuple[int, int]:
+        pieces = covering_regions(self.image.heap_base, self.image.heap_size)
+        return pieces[0]
+
+    # -- MPU-region virtualisation (§5.2) -----------------------------------------
+
+    def handle_memmanage(self, interp, fault: MemManageFault) -> bool:
+        address = fault.address
+        layout = self.image.layout_of(self.current)
+
+        # Heap access by a heap-using operation whose heap region was
+        # evicted is re-established the same way as a peripheral window.
+        for window in self.current.windows:
+            if window.contains(address):
+                self._map_window(layout, address, window.base, window.size)
+                return True
+        if (layout.uses_heap
+                and self.image.heap_base <= address
+                < self.image.heap_base + self.image.heap_size):
+            heap_base, heap_size = self._heap_region()
+            self._map_window(layout, address, heap_base, heap_size)
+            return True
+        raise SecurityAbort(
+            f"operation {self.current.name} attempted "
+            f"{'write' if fault.is_write else 'read'} at "
+            f"0x{address:08X} outside its policy"
+        )
+
+    def _map_window(self, layout: OperationLayout, address: int,
+                    base: int, size: int) -> None:
+        """Round-robin one of the reserved regions onto the window piece
+        containing the faulting address."""
+        slots = list(PERIPHERAL_REGIONS)
+        if layout.uses_heap:
+            slots.pop(0)  # the heap's slot is never a victim
+        victim = slots[self._victim_rotation % len(slots)]
+        self._victim_rotation += 1
+        for piece_base, piece_size in covering_regions(base, size):
+            if piece_base <= address < piece_base + piece_size:
+                self.machine.mpu.set_region(MPURegion(
+                    number=victim, base=piece_base, size=piece_size,
+                    priv="RW", unpriv="RW",
+                ))
+                self.machine.stats.peripheral_region_switches += 1
+                self.machine.consume(REGION_SWITCH_COST)
+                return
+        raise SecurityAbort(
+            f"no MPU cover for window piece at 0x{address:08X}"
+        )
+
+    # -- core-peripheral emulation (§5.2) ----------------------------------------
+
+    def handle_busfault(self, interp, fault: BusFault) -> Optional[int]:
+        if not fault.is_ppb:
+            return None
+        allowed = any(
+            p.contains(fault.address)
+            for p in self.current.resources.core_peripherals
+        )
+        if not allowed:
+            raise SecurityAbort(
+                f"operation {self.current.name} accessed core peripheral "
+                f"at 0x{fault.address:08X} outside its policy"
+            )
+        self.machine.stats.emulated_core_accesses += 1
+        self.machine.consume(CORE_EMULATION_COST)
+        if fault.is_write:
+            self.machine.write_direct(fault.address, fault.size, fault.value)
+            return 0
+        return self.machine.read_direct(fault.address, fault.size)

@@ -1,0 +1,83 @@
+"""Stack protection via MPU sub-regions and data relocation (§5.2).
+
+The stack occupies one MPU region split into eight sub-regions.  When
+an operation is entered, the monitor (Figure 8):
+
+1. moves the stack pointer down to the enclosing sub-region boundary —
+   the "first available sub-region";
+2. copies the buffers pointed to by the entry's pointer-type arguments
+   (sizes come from the developer-provided stack information) onto the
+   new operation's stack and redirects the arguments to the copies;
+3. disables every sub-region at or above the boundary, so the previous
+   operations' frames fall through to R0 and become unwritable.
+
+On exit the copies are written back to the originals and the previous
+stack pointer and sub-region mask are restored.
+"""
+
+from __future__ import annotations
+
+from ..hw.machine import Machine
+from ..image.linker import OpecImage
+from ..image.mpu_config import subregion_disable_for_free_range
+from ..interp.costs import STACK_RELOCATE_WORD_COST
+from ..partition.operations import Operation
+from .context import StackRelocation
+
+
+class StackProtector:
+    """Implements Figure 8's relocation and masking for one image."""
+
+    def __init__(self, machine: Machine, image: OpecImage):
+        self.machine = machine
+        self.image = image
+        self.base = image.stack_base
+        self.size = image.stack_size
+        self.subregion = image.subregion_size
+
+    def boundary_below(self, sp: int) -> int:
+        """Start address of the sub-region containing ``sp``."""
+        return sp & ~(self.subregion - 1)
+
+    def mask_for(self, watermark: int) -> int:
+        """Sub-region disable mask hiding frames at/above ``watermark``."""
+        return subregion_disable_for_free_range(self.base, self.size, watermark)
+
+    def relocate_arguments(
+        self,
+        operation: Operation,
+        args: list[int],
+        sp: int,
+    ) -> tuple[list[int], int, list[StackRelocation]]:
+        """Copy pointer-argument buffers onto the new operation's stack.
+
+        Returns the (possibly rewritten) argument list, the new stack
+        pointer, and the relocation records needed for copy-back.
+        """
+        new_sp = self.boundary_below(sp)
+        relocations: list[StackRelocation] = []
+        new_args = list(args)
+        for index, size in sorted(operation.stack_info.items()):
+            if index >= len(new_args):
+                continue
+            original = new_args[index]
+            new_sp = (new_sp - size) & ~0x3
+            blob = self.machine.read_bytes(original, size)
+            self.machine.write_bytes(new_sp, blob)
+            self.machine.consume(STACK_RELOCATE_WORD_COST * ((size + 3) // 4))
+            relocations.append(
+                StackRelocation(
+                    original_address=original, copy_address=new_sp, size=size
+                )
+            )
+            new_args[index] = new_sp
+        return new_args, new_sp, relocations
+
+    def copy_back(self, relocations: list[StackRelocation]) -> None:
+        """Write relocated buffers back to their original frames."""
+        for record in relocations:
+            blob = self.machine.read_bytes(record.copy_address, record.size)
+            self.machine.write_bytes(record.original_address, blob)
+            self.machine.consume(
+                STACK_RELOCATE_WORD_COST * ((record.size + 3) // 4)
+            )

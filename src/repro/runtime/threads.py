@@ -1,0 +1,82 @@
+"""Multi-threading extension (§7, "Concurrency").
+
+The paper sketches what OPEC needs on a single-core multi-threaded
+system: on a context switch the monitor must (1) write back the
+suspended thread's operation shadows and refresh the resumed thread's,
+and (2) reconfigure the MPU for the resumed thread's operation.  This
+module implements exactly that on top of :class:`OpecMonitor`, with a
+cooperative round-robin scheduler the tests drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..interp.costs import SWITCH_BASE_COST
+from ..partition.operations import Operation
+from .monitor import OpecMonitor
+
+
+@dataclass
+class ThreadContext:
+    """The monitor-visible state of one logical thread."""
+
+    thread_id: int
+    operation: Operation
+    stack_pointer: int
+    stack_mask: int
+
+
+class ThreadSupport:
+    """Single-core context switching per §7 (solution sketch 1)."""
+
+    def __init__(self, monitor: OpecMonitor):
+        self.monitor = monitor
+        self.threads: dict[int, ThreadContext] = {}
+        self.current_thread: Optional[int] = None
+        self.switches = 0
+
+    def register_thread(self, thread_id: int, operation: Operation,
+                        stack_pointer: int) -> ThreadContext:
+        """Declare a thread currently executing inside ``operation``."""
+        mask = self.monitor.stack.mask_for(
+            self.monitor.stack.boundary_below(stack_pointer))
+        context = ThreadContext(
+            thread_id=thread_id, operation=operation,
+            stack_pointer=stack_pointer, stack_mask=mask,
+        )
+        self.threads[thread_id] = context
+        if self.current_thread is None:
+            self.current_thread = thread_id
+            self.monitor.current = operation
+        return context
+
+    def context_switch(self, interp, to_thread: int) -> None:
+        """Suspend the current thread, resume ``to_thread`` (§7 steps
+        1-2): shadow write-back + refresh, relocation-table update,
+        MPU reconfiguration."""
+        target = self.threads[to_thread]
+        machine = self.monitor.machine
+        machine.consume(SWITCH_BASE_COST)
+        self.switches += 1
+
+        with machine.privileged_mode():
+            if self.current_thread is not None:
+                previous = self.threads[self.current_thread]
+                previous.stack_pointer = interp.sp
+                previous.stack_mask = self.monitor.current_stack_mask
+                previous.operation = self.monitor.current
+                # (1) write back the suspended thread's shadows …
+                self.monitor.sync.write_back(previous.operation)
+            # … and refresh the resumed thread's.
+            self.monitor.sync.refresh(target.operation)
+            self.monitor.sync.update_relocation_table(target.operation)
+            self.monitor.sync.redirect_pointers(target.operation)
+            # (2) reconfigure the MPU for the resumed operation.
+            self.monitor._addr_cache.clear()
+            self.monitor.current = target.operation
+            self.monitor.current_stack_mask = target.stack_mask
+            self.monitor._load_mpu(target.operation, target.stack_mask)
+        interp.sp = target.stack_pointer
+        self.current_thread = to_thread

@@ -1,0 +1,151 @@
+"""Unit tests for the Andersen points-to analysis."""
+
+import repro.ir as ir
+from repro.analysis import run_andersen
+from repro.ir import I32, VOID, FunctionType, ptr
+
+
+def test_alloca_points_to_its_site():
+    module = ir.Module("m")
+    _f, b = ir.define(module, "f", VOID, [])
+    slot = b.alloca(I32)
+    b.ret_void()
+    result = run_andersen(module)
+    assert ("alloca", slot) in result.points_to(slot)
+
+
+def test_global_address_flows_through_casts_and_geps():
+    module = ir.Module("m")
+    g = module.add_global("g", ir.array(I32, 4))
+    _f, b = ir.define(module, "f", VOID, [])
+    p = b.gep(g, 0, 2)
+    q = b.bitcast(p, ptr(I32))
+    b.store(1, q)
+    b.ret_void()
+    result = run_andersen(module)
+    assert g in result.pointed_globals(q)
+
+
+def test_store_load_through_pointer_slot():
+    """*slot = &g; x = *slot; *x = ... → x may point to g."""
+    module = ir.Module("m")
+    g = module.add_global("g", I32)
+    _f, b = ir.define(module, "f", VOID, [])
+    slot = b.alloca(ptr(I32))
+    b.store(g, slot)
+    loaded = b.load(slot)
+    b.store(5, loaded)
+    b.ret_void()
+    result = run_andersen(module)
+    assert g in result.pointed_globals(loaded)
+
+
+def test_local_targets_filtered_from_pointed_globals():
+    module = ir.Module("m")
+    _f, b = ir.define(module, "f", VOID, [])
+    local = b.alloca(I32)
+    p = b.bitcast(local, ptr(I32))
+    b.store(1, p)
+    b.ret_void()
+    result = run_andersen(module)
+    assert result.pointed_globals(p) == set()
+    assert ("alloca", local) in result.points_to(p)
+
+
+def test_interprocedural_param_flow():
+    module = ir.Module("m")
+    g = module.add_global("g", I32)
+    callee, cb = ir.define(module, "callee", VOID, [ptr(I32)])
+    pointer = callee.params[0]
+    cb.store(1, pointer)
+    cb.ret_void()
+    _f, b = ir.define(module, "f", VOID, [])
+    b.call(callee, g)
+    b.ret_void()
+    result = run_andersen(module)
+    assert g in result.pointed_globals(pointer)
+
+
+def test_return_value_flow():
+    module = ir.Module("m")
+    g = module.add_global("g", I32)
+    getter, gb = ir.define(module, "get", ptr(I32), [])
+    gb.ret(g)
+    _f, b = ir.define(module, "f", VOID, [])
+    p = b.call(getter)
+    b.store(2, p)
+    b.ret_void()
+    result = run_andersen(module)
+    assert g in result.pointed_globals(p)
+
+
+def test_icall_resolved_via_function_pointer_global():
+    module = ir.Module("m")
+    cb_slot = module.add_global("cb", ptr(ir.I8))
+    handler, hb = ir.define(module, "handler", VOID, [I32])
+    hb.ret_void()
+    setup, sb = ir.define(module, "setup", VOID, [])
+    sb.store(sb.inttoptr(sb.ptrtoint(handler), ir.I8), cb_slot)
+    sb.ret_void()
+    caller, crb = ir.define(module, "caller", VOID, [])
+    target = crb.load(cb_slot)
+    icall = crb.icall(crb.ptrtoint(target), FunctionType(VOID, [I32]), 1)
+    crb.ret_void()
+    result = run_andersen(module)
+    assert result.icall_targets(icall) == {handler}
+    assert result.resolves(icall)
+
+
+def test_icall_arity_mismatch_rejected():
+    module = ir.Module("m")
+    cb_slot = module.add_global("cb", ptr(ir.I8))
+    wrong, wb = ir.define(module, "wrong", VOID, [I32, I32, I32])
+    wb.ret_void()
+    setup, sb = ir.define(module, "setup", VOID, [])
+    sb.store(sb.inttoptr(sb.ptrtoint(wrong), ir.I8), cb_slot)
+    sb.ret_void()
+    caller, crb = ir.define(module, "caller", VOID, [])
+    target = crb.load(cb_slot)
+    icall = crb.icall(crb.ptrtoint(target), FunctionType(VOID, [I32]), 1)
+    crb.ret_void()
+    result = run_andersen(module)
+    assert not result.resolves(icall)
+
+
+def test_icall_args_flow_into_target_params():
+    module = ir.Module("m")
+    g = module.add_global("g", I32)
+    cb_slot = module.add_global("cb", ptr(ir.I8))
+    handler, hb = ir.define(module, "handler", VOID, [ptr(I32)])
+    hb.store(1, handler.params[0])
+    hb.ret_void()
+    setup, sb = ir.define(module, "setup", VOID, [])
+    sb.store(sb.inttoptr(sb.ptrtoint(handler), ir.I8), cb_slot)
+    sb.ret_void()
+    caller, crb = ir.define(module, "caller", VOID, [])
+    target = crb.load(cb_slot)
+    crb.icall(crb.ptrtoint(target), FunctionType(VOID, [ptr(I32)]), g)
+    crb.ret_void()
+    result = run_andersen(module)
+    assert g in result.pointed_globals(handler.params[0])
+
+
+def test_select_merges_both_sides():
+    module = ir.Module("m")
+    g1 = module.add_global("g1", I32)
+    g2 = module.add_global("g2", I32)
+    _f, b = ir.define(module, "f", VOID, [])
+    chosen = b.select(b.icmp("eq", 1, 1), g1, g2)
+    b.store(0, chosen)
+    b.ret_void()
+    result = run_andersen(module)
+    assert result.pointed_globals(chosen) == {g1, g2}
+
+
+def test_solver_reports_statistics():
+    module = ir.Module("m")
+    _f, b = ir.define(module, "f", VOID, [])
+    b.ret_void()
+    result = run_andersen(module)
+    assert result.solve_time >= 0.0
+    assert result.iterations >= 0

@@ -1,0 +1,120 @@
+"""Unit tests for call-graph construction and type-based icall fallback."""
+
+import repro.ir as ir
+from repro.analysis import (
+    TypeBasedResolver,
+    address_taken_functions,
+    build_call_graph,
+    signature_key,
+    signatures_match,
+)
+from repro.ir import FunctionType, I8, I16, I32, VOID, StructType, ptr
+
+
+class TestSignatureMatching:
+    def test_int_widths_not_discriminated(self):
+        a = FunctionType(VOID, [I8])
+        b = FunctionType(VOID, [I32])
+        assert signatures_match(a, b)
+
+    def test_pointer_types_discriminated(self):
+        a = FunctionType(VOID, [ptr(I8)])
+        b = FunctionType(VOID, [ptr(I32)])
+        assert not signatures_match(a, b)
+
+    def test_struct_types_discriminated(self):
+        s1 = StructType("s1", [("a", I32)])
+        s2 = StructType("s2", [("a", I32)])
+        assert not signatures_match(
+            FunctionType(VOID, [s1]), FunctionType(VOID, [s2]))
+
+    def test_return_type_discriminated(self):
+        assert signature_key(FunctionType(I32, [])) != signature_key(
+            FunctionType(VOID, []))
+
+    def test_arity_discriminated(self):
+        assert not signatures_match(
+            FunctionType(VOID, [I32]), FunctionType(VOID, [I32, I32]))
+
+
+def _module_with_unresolvable_icall():
+    """An icall whose target comes from an opaque integer — the
+    points-to analysis cannot resolve it, type analysis must."""
+    module = ir.Module("m")
+    matching, mb = ir.define(module, "matching", VOID, [I32])
+    mb.ret_void()
+    other, ob = ir.define(module, "other", VOID, [ptr(I8)])
+    ob.ret_void()
+    seed = module.add_global("seed", I32, 0)
+    caller, cb = ir.define(module, "caller", VOID, [])
+    # Reference both functions so they are address-taken.
+    sink = cb.alloca(I32, count=2)
+    cb.store(cb.ptrtoint(matching), cb.gep(sink, 0))
+    cb.store(cb.ptrtoint(other), cb.gep(sink, 1))
+    opaque = cb.load(seed)
+    icall = cb.icall(opaque, FunctionType(VOID, [I32]), 5)
+    cb.ret_void()
+    return module, matching, other, icall
+
+
+class TestTypeResolver:
+    def test_matches_only_compatible_address_taken(self):
+        module, matching, other, icall = _module_with_unresolvable_icall()
+        resolver = TypeBasedResolver(module)
+        assert resolver.targets(icall) == {matching}
+
+    def test_address_taken_detection(self):
+        module, matching, other, _ = _module_with_unresolvable_icall()
+        taken = address_taken_functions(module)
+        assert matching in taken and other in taken
+        assert module.get_function("caller") not in taken
+
+
+class TestCallGraph:
+    def test_direct_edges(self, mini_module):
+        graph = build_call_graph(mini_module)
+        main = mini_module.get_function("main")
+        assert {f.name for f in graph.callees(main)} == {"task_a", "task_b"}
+
+    def test_icall_fallback_records_type_resolution(self):
+        module, matching, _other, icall = _module_with_unresolvable_icall()
+        graph = build_call_graph(module)
+        assert graph.icall_count() == 1
+        assert graph.resolved_by("type") == 1
+        assert graph.resolved_by("svf") == 0
+        site = graph.icall_sites[0]
+        assert site.targets == {matching}
+        caller = module.get_function("caller")
+        assert matching in graph.callees(caller)
+
+    def test_svf_preferred_over_type(self):
+        module = ir.Module("m")
+        handler, hb = ir.define(module, "handler", VOID, [I32])
+        hb.ret_void()
+        decoy, db = ir.define(module, "decoy", VOID, [I32])
+        db.ret_void()
+        caller, cb = ir.define(module, "caller", VOID, [])
+        icall = cb.icall(cb.ptrtoint(handler), FunctionType(VOID, [I32]), 1)
+        # Make the decoy address-taken so type analysis *would* add it.
+        cb.store(cb.ptrtoint(decoy), cb.alloca(I32))
+        cb.ret_void()
+        graph = build_call_graph(module)
+        site = graph.icall_sites[0]
+        assert site.resolved_by == "svf"
+        assert site.targets == {handler}  # no decoy
+
+    def test_reachable_from_backtracks_at_stops(self, mini_module):
+        graph = build_call_graph(mini_module)
+        main = mini_module.get_function("main")
+        task_a = mini_module.get_function("task_a")
+        reached = graph.reachable_from(main, stop_at=[task_a])
+        names = {f.name for f in reached}
+        assert "task_a" not in names
+        assert "task_b" in names
+        # The stop set never excludes the entry itself.
+        assert graph.reachable_from(task_a, stop_at=[task_a]) == {task_a}
+
+    def test_target_counts(self):
+        module, *_ = _module_with_unresolvable_icall()
+        graph = build_call_graph(module)
+        assert graph.target_counts() == [1]

@@ -1,0 +1,151 @@
+"""Unit tests for slicing and the resource-dependency analysis."""
+
+import repro.ir as ir
+from repro.analysis import ConstantAddressResolver, ResourceAnalysis, forward_derived
+from repro.hw import stm32f4_discovery
+from repro.ir import I8, I32, VOID, ptr
+
+RCC_BASE = 0x40023800
+GPIOA_BASE = 0x40020000
+SYSTICK = 0xE000E010
+
+
+class TestForwardDerived:
+    def test_follows_gep_cast_chains(self):
+        module = ir.Module("m")
+        g = module.add_global("g", ir.array(I32, 4))
+        _f, b = ir.define(module, "f", VOID, [])
+        p = b.gep(g, 0, 1)
+        q = b.bitcast(p, ptr(I8))
+        r = b.gep(q, 2)
+        b.ret_void()
+        derived = forward_derived(module.get_function("f"), {g})
+        assert {p, q, r} <= derived
+
+    def test_unrelated_values_excluded(self):
+        module = ir.Module("m")
+        g = module.add_global("g", I32)
+        _f, b = ir.define(module, "f", VOID, [])
+        other = b.alloca(I32)
+        p = b.gep(other, 0)
+        b.ret_void()
+        derived = forward_derived(module.get_function("f"), {g})
+        assert p not in derived
+
+
+class TestConstantAddressResolver:
+    def test_direct_mmio(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "f", VOID, [])
+        p = b.mmio(RCC_BASE + 0x30)
+        b.store(1, p)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == {RCC_BASE + 0x30}
+
+    def test_gep_offset_from_constant_base(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "f", VOID, [])
+        base = b.mmio(GPIOA_BASE, ir.array(I32, 16))
+        p = b.gep(base, 0, 5)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == {GPIOA_BASE + 20}
+
+    def test_inttoptr_constant(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "f", VOID, [])
+        p = b.inttoptr(SYSTICK, I32)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == {SYSTICK}
+
+    def test_parameter_resolved_through_call_sites(self):
+        module = ir.Module("m")
+        write_reg, wb = ir.define(module, "write_reg", VOID, [I32, I32])
+        addr, value = write_reg.params
+        p = wb.inttoptr(addr, I32)
+        wb.store(value, p)
+        wb.ret_void()
+        _f, b = ir.define(module, "f", VOID, [])
+        b.call(write_reg, RCC_BASE, 1)
+        b.call(write_reg, GPIOA_BASE, 2)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == {RCC_BASE, GPIOA_BASE}
+
+    def test_parameter_with_unknown_caller_unresolved(self):
+        module = ir.Module("m")
+        write_reg, wb = ir.define(module, "write_reg", VOID, [I32])
+        p = wb.inttoptr(write_reg.params[0], I32)
+        wb.store(0, p)
+        wb.ret_void()
+        _f, b = ir.define(module, "f", VOID, [I32])
+        b.call(write_reg, b.add(_f.params[0], 4))  # dynamic address
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == set()
+
+    def test_const_global_handle(self):
+        """HAL pattern: a const global holds the peripheral base."""
+        module = ir.Module("m")
+        handle = module.add_global("uart_base", I32, RCC_BASE, is_const=True)
+        _f, b = ir.define(module, "f", VOID, [])
+        loaded = b.load(handle)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(loaded) == {RCC_BASE}
+
+
+class TestResourceAnalysis:
+    def _analyze(self, module, name):
+        board = stm32f4_discovery()
+        analysis = ResourceAnalysis(module, board)
+        return analysis.function_resources(module.get_function(name))
+
+    def test_direct_global_access(self, mini_module):
+        res = self._analyze(mini_module, "task_a")
+        names = {g.name for g in res.globals_direct}
+        assert names == {"counter", "secret"}
+
+    def test_gep_derived_access_attributed_to_root(self, mini_module):
+        res = self._analyze(mini_module, "task_b")
+        names = {g.name for g in res.globals_direct}
+        assert "blob" in names
+
+    def test_indirect_access_via_parameter(self):
+        module = ir.Module("m")
+        g = module.add_global("g", I32)
+        sink, sb = ir.define(module, "sink", VOID, [ptr(I32)])
+        sb.store(9, sink.params[0])
+        sb.ret_void()
+        _f, b = ir.define(module, "f", VOID, [])
+        b.call(sink, g)
+        b.ret_void()
+        res = self._analyze(module, "sink")
+        assert g in res.globals_indirect
+
+    def test_peripheral_classification(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "f", VOID, [])
+        b.store(1, b.mmio(RCC_BASE))        # general peripheral
+        b.store(2, b.mmio(SYSTICK + 4))      # core peripheral
+        b.ret_void()
+        res = self._analyze(module, "f")
+        assert {p.name for p in res.peripherals} == {"RCC"}
+        assert {p.name for p in res.core_peripherals} == {"SysTick"}
+
+    def test_sram_constant_not_a_peripheral(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "f", VOID, [])
+        b.store(1, b.inttoptr(0x20000100, I32))
+        b.ret_void()
+        res = self._analyze(module, "f")
+        assert res.peripherals == set()
+
+    def test_declaration_has_empty_resources(self):
+        module = ir.Module("m")
+        module.declare_function("ext", ir.FunctionType(VOID, []))
+        res = self._analyze(module, "ext")
+        assert res.globals_all == set()
+        assert res.peripherals == set()

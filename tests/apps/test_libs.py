@@ -1,0 +1,195 @@
+"""Unit tests for the IR libraries: mini-FAT filesystem, network stack,
+libc, and crypto."""
+
+import pytest
+
+import repro.ir as ir
+from repro.apps.hal.crypto import add_crypto, fnv1a_host
+from repro.apps.hal.libc import add_libc
+from repro.apps.hal.storage import add_sd_hal
+from repro.apps.lib import fatfs, netstack
+from repro.apps.lib.fatfs import make_disk_image
+from repro.apps.lib.netstack import make_tcp_frame, parse_reply
+from repro.hw import Machine, stm32479i_eval
+from repro.hw.peripherals import SDCard
+from repro.image import build_vanilla_image
+from repro.interp import Interpreter
+from repro.ir import I8, I32, VOID, array
+
+
+class TestDiskImage:
+    def test_superblock_magic(self):
+        image = make_disk_image({})
+        assert int.from_bytes(image[0:4], "little") == fatfs.MAGIC
+
+    def test_file_content_placed_in_data_blocks(self):
+        image = make_disk_image({b"A       ": b"hello"})
+        data_block = fatfs.DATA_START + 1  # first allocated FAT entry
+        start = data_block * 512
+        assert image[start:start + 5] == b"hello"
+
+    def test_multi_block_chain(self):
+        content = bytes(range(256)) * 3  # 768 bytes: two blocks
+        image = make_disk_image({b"BIG     ": content})
+        fat = [int.from_bytes(image[512 + 4 * i:516 + 4 * i], "little")
+               for i in range(fatfs.FAT_ENTRIES)]
+        assert fat[1] == 2
+        assert fat[2] == fatfs.FAT_END
+
+    def test_too_many_files_rejected(self):
+        files = {f"F{i:02d}     ".encode(): b"x" for i in range(20)}
+        with pytest.raises(ValueError):
+            make_disk_image(files)
+
+
+class TestFilesystemRoundtrip:
+    def _run(self, image_bytes, program):
+        """Build a module with fatfs + `program(module, fs, libc)`."""
+        board = stm32479i_eval()
+        module = ir.Module("fs_test")
+        libc = add_libc(module)
+        sd = add_sd_hal(module, board)
+        fs = fatfs.add_fatfs(module, sd, libc)
+        program(module, fs, libc)
+        machine = Machine(board)
+        machine.attach_device("SDIO", SDCard(image=image_bytes))
+        image = build_vanilla_image(module, board)
+        image.initialize_memory(machine)
+        interp = Interpreter(machine, image, max_instructions=20_000_000)
+        return interp.run(), machine
+
+    def test_read_existing_file(self):
+        content = b"The quick brown fox jumps over the lazy dog."
+        disk = make_disk_image({b"TEST    ": content})
+
+        def program(module, fs, libc):
+            fsobj = module.add_global("fsobj", fs.fatfs_t)
+            fil = module.add_global("fil", fs.fil_t)
+            name = module.add_global("name", array(I8, 8), b"TEST    ",
+                                     is_const=True)
+            out = module.add_global("out", array(I8, 64))
+            _m, b = ir.define(module, "main", I32, [])
+            b.call(fs.f_mount, fsobj)
+            b.call(fs.f_open, fil, fsobj, b.gep(name, 0, 0), 0)
+            n = b.call(fs.f_read, fil, fsobj, b.gep(out, 0, 0), 64)
+            b.halt(n)
+
+        code, machine = self._run(disk, program)
+        assert code == len(content)
+
+    def test_mount_rejects_bad_magic(self):
+        def program(module, fs, libc):
+            fsobj = module.add_global("fsobj", fs.fatfs_t)
+            _m, b = ir.define(module, "main", I32, [])
+            b.halt(b.call(fs.f_mount, fsobj))
+
+        code, _ = self._run(b"\x00" * 4096, program)
+        assert code == 1  # mount error
+
+    def test_create_write_read_roundtrip_multiblock(self):
+        payload = bytes((i * 7) & 0xFF for i in range(700))  # 2 blocks
+
+        def program(module, fs, libc):
+            fsobj = module.add_global("fsobj", fs.fatfs_t)
+            fil = module.add_global("fil", fs.fil_t)
+            name = module.add_global("name", array(I8, 8), b"NEW     ",
+                                     is_const=True)
+            src = module.add_global("src", array(I8, 700), list(payload))
+            dst = module.add_global("dst", array(I8, 700))
+            _m, b = ir.define(module, "main", I32, [])
+            b.call(fs.f_mount, fsobj)
+            b.call(fs.f_open, fil, fsobj, b.gep(name, 0, 0), 1)
+            b.call(fs.f_write, fil, fsobj, b.gep(src, 0, 0), 700)
+            b.call(fs.f_close, fil, fsobj)
+            b.call(fs.f_open, fil, fsobj, b.gep(name, 0, 0), 0)
+            n = b.call(fs.f_read, fil, fsobj, b.gep(dst, 0, 0), 700)
+            diff = b.call(libc.memcmp, b.gep(src, 0, 0), b.gep(dst, 0, 0),
+                          700)
+            ok = b.and_(b.icmp("eq", n, 700), b.icmp("eq", diff, 0))
+            b.halt(ok)
+
+        code, _ = self._run(make_disk_image({}), program)
+        assert code == 1
+
+    def test_open_missing_file_fails(self):
+        def program(module, fs, libc):
+            fsobj = module.add_global("fsobj", fs.fatfs_t)
+            fil = module.add_global("fil", fs.fil_t)
+            name = module.add_global("name", array(I8, 8), b"MISSING ",
+                                     is_const=True)
+            _m, b = ir.define(module, "main", I32, [])
+            b.call(fs.f_mount, fsobj)
+            b.halt(b.call(fs.f_open, fil, fsobj, b.gep(name, 0, 0), 0))
+
+        code, _ = self._run(make_disk_image({}), program)
+        assert code == 1
+
+
+class TestNetstackHost:
+    def test_frame_checksum_validates(self):
+        frame = make_tcp_frame(b"data")
+        header = frame[14:34]
+        assert netstack._ip_checksum(
+            header[:10] + b"\x00\x00" + header[12:]
+        ) == int.from_bytes(header[10:12], "big")
+
+    def test_corrupt_checksum_flag(self):
+        good = make_tcp_frame(b"x")
+        bad = make_tcp_frame(b"x", corrupt_checksum=True)
+        assert good[24:26] != bad[24:26]
+
+    def test_parse_reply_fields(self):
+        frame = make_tcp_frame(b"payload")
+        parsed = parse_reply(frame)
+        assert parsed["dst_port"] == netstack.ECHO_PORT
+        assert parsed["payload"] == b"payload"
+
+
+class TestCryptoAndLibc:
+    def _exec(self, module):
+        from repro.hw import stm32f4_discovery
+
+        board = stm32f4_discovery()
+        image = build_vanilla_image(module, board)
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        return Interpreter(machine, image).run()
+
+    def test_fnv1a_matches_host_oracle(self):
+        module = ir.Module("m")
+        crypto = add_crypto(module)
+        data = module.add_global("data", array(I8, 8), b"pin:1234")
+        _m, b = ir.define(module, "main", I32, [])
+        b.halt(b.call(crypto.fnv1a, b.gep(data, 0, 0), 8))
+        assert self._exec(module) == fnv1a_host(b"pin:1234")
+
+    def test_memcmp_semantics(self):
+        module = ir.Module("m")
+        libc = add_libc(module)
+        a = module.add_global("a", array(I8, 4), b"abcd")
+        c = module.add_global("c", array(I8, 4), b"abzd")
+        _m, b = ir.define(module, "main", I32, [])
+        equal = b.call(libc.memcmp, b.gep(a, 0, 0), b.gep(a, 0, 0), 4)
+        differ = b.call(libc.memcmp, b.gep(a, 0, 0), b.gep(c, 0, 0), 4)
+        both = b.and_(b.icmp("eq", equal, 0), b.icmp("ne", differ, 0))
+        b.halt(both)
+        assert self._exec(module) == 1
+
+    def test_strlen(self):
+        module = ir.Module("m")
+        libc = add_libc(module)
+        s = module.add_global("s", array(I8, 8), b"hello\x00x")
+        _m, b = ir.define(module, "main", I32, [])
+        b.halt(b.call(libc.strlen, b.gep(s, 0, 0)))
+        assert self._exec(module) == 5
+
+    def test_memset_memcpy(self):
+        module = ir.Module("m")
+        libc = add_libc(module)
+        src = module.add_global("src", array(I8, 8))
+        dst = module.add_global("dst", array(I8, 8))
+        _m, b = ir.define(module, "main", I32, [])
+        b.call(libc.memset, b.gep(src, 0, 0), b.const(0x5A, I8), 8)
+        b.call(libc.memcpy, b.gep(dst, 0, 0), b.gep(src, 0, 0), 8)
+        b.halt(b.zext(b.load(b.gep(dst, 0, 7))))
+        assert self._exec(module) == 0x5A

@@ -1,0 +1,174 @@
+"""Unit tests for the ACES baseline: strategies, regions, runtime."""
+
+import pytest
+
+import repro.ir as ir
+from repro import build_vanilla, run_image
+from repro.analysis import ResourceAnalysis
+from repro.baselines import build_aces
+from repro.baselines.aces import (
+    MAX_DATA_REGIONS,
+    assign_regions,
+    partition_by_filename,
+    partition_by_peripheral,
+)
+from repro.hw import SecurityAbort, stm32f4_discovery
+from repro.ir import I32, VOID
+
+from ..conftest import build_mini_module
+
+
+def _resources(module, board):
+    return ResourceAnalysis(module, board)
+
+
+class TestStrategies:
+    def test_filename_one_compartment_per_file(self, board):
+        module = build_mini_module()
+        compartments = partition_by_filename(module, _resources(module, board))
+        assert {c.name for c in compartments} == {"a.c", "b.c", "main.c"}
+
+    def test_optimisation_merges_compartments(self, board):
+        module = build_mini_module()
+        merged = partition_by_filename(module, _resources(module, board),
+                                       optimize=True)
+        unmerged = partition_by_filename(module, _resources(module, board),
+                                         optimize=False)
+        assert len(merged) < len(unmerged)
+
+    def test_peripheral_grouping(self, board):
+        module = ir.Module("m")
+        rcc = board.peripheral("RCC").base
+        tim = board.peripheral("TIM2").base
+        f1, b = ir.define(module, "f1", VOID, [], source_file="x.c")
+        b.store(1, b.mmio(rcc))
+        b.ret_void()
+        f2, b = ir.define(module, "f2", VOID, [], source_file="y.c")
+        b.store(1, b.mmio(rcc))
+        b.ret_void()
+        f3, b = ir.define(module, "f3", VOID, [], source_file="x.c")
+        b.store(1, b.mmio(tim))
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [], source_file="main.c")
+        b.call(f1)
+        b.call(f2)
+        b.call(f3)
+        b.halt(0)
+        compartments = partition_by_peripheral(module, _resources(module, board))
+        by_name = {c.name: c for c in compartments}
+        assert by_name["periph:RCC"].functions == {f1, f2}
+        assert by_name["periph:TIM2"].functions == {f3}
+
+    def test_core_peripheral_lifts_compartment(self, board):
+        module = ir.Module("m")
+        t, b = ir.define(module, "t", VOID, [], source_file="systick.c")
+        b.store(1, b.mmio(0xE000E014))
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [], source_file="main.c")
+        b.call(t)
+        b.halt(0)
+        compartments = partition_by_filename(module, _resources(module, board))
+        lifted = next(c for c in compartments if c.name == "systick.c")
+        assert lifted.privileged
+
+
+class TestRegionAssignment:
+    def _compartments_with_many_groups(self, board):
+        """One compartment accessing vars with 6 distinct accessor sets."""
+        module = ir.Module("m")
+        hub_vars = []
+        spokes = []
+        for i in range(6):
+            g = module.add_global(f"v{i}", I32, i)
+            hub_vars.append(g)
+            spoke, b = ir.define(module, f"spoke{i}", VOID, [],
+                                 source_file=f"s{i}.c")
+            b.store(1, g)
+            b.ret_void()
+            spokes.append(spoke)
+        hub, b = ir.define(module, "hub", VOID, [], source_file="hub.c")
+        for g in hub_vars:
+            b.store(2, g)
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [], source_file="main.c")
+        b.call(hub)
+        for spoke in spokes:
+            b.call(spoke)
+        b.halt(0)
+        return module, partition_by_filename(module, _resources(module, board))
+
+    def test_merging_respects_region_limit(self, board):
+        module, compartments = self._compartments_with_many_groups(board)
+        assignment = assign_regions(compartments, module.writable_globals())
+        for compartment in compartments:
+            assert len(assignment.groups_of(compartment)) <= MAX_DATA_REGIONS
+
+    def test_merging_creates_over_privilege(self, board):
+        module, compartments = self._compartments_with_many_groups(board)
+        assignment = assign_regions(compartments, module.writable_globals())
+        # Some spoke compartment can now access a variable it never
+        # needed — the partition-time over-privilege of Figure 3.
+        over_privileged = False
+        for compartment in compartments:
+            accessible = assignment.accessible_vars(compartment)
+            needed = compartment.resources.globals_all
+            if accessible - needed:
+                over_privileged = True
+        assert over_privileged
+
+    def test_accessible_is_superset_of_needed(self, board):
+        module, compartments = self._compartments_with_many_groups(board)
+        assignment = assign_regions(compartments, module.writable_globals())
+        for compartment in compartments:
+            needed = {
+                v for v in compartment.resources.globals_all if not v.is_const
+            }
+            assert needed <= assignment.accessible_vars(compartment)
+
+
+class TestAcesRuntime:
+    def test_functional_equivalence(self, board):
+        module = build_mini_module()
+        vanilla = run_image(build_vanilla(module, board))
+        for strategy in ("ACES1", "ACES2", "ACES3"):
+            module2 = build_mini_module()
+            artifacts = build_aces(module2, board, strategy)
+            result = run_image(artifacts.image)
+            assert result.halt_code == vanilla.halt_code
+
+    def test_switch_on_cross_compartment_calls(self, board):
+        module = build_mini_module()
+        artifacts = build_aces(module, board, "ACES2")
+        result = run_image(artifacts.image)
+        # main.c -> a.c, main.c -> b.c, main.c -> a.c
+        assert result.hooks.switch_count == 3
+
+    def test_grouped_variable_write_allowed_cross_compartment(self, board):
+        """Region merging grants task_b access to vars it shares a
+        region with — the over-privilege OPEC blocks."""
+        module = build_mini_module()
+        artifacts = build_aces(module, board, "ACES2")
+        # counter is accessed by a.c, b.c, and main.c: it lands in a
+        # region both tasks can write.
+        counter = module.get_global("counter")
+        by_name = {c.name: c for c in artifacts.compartments}
+        accessible_b = artifacts.assignment.accessible_vars(by_name["b.c"])
+        assert counter in accessible_b
+
+    def test_out_of_region_write_aborts(self, board):
+        module = build_mini_module()
+        probe = build_aces(module, board, "ACES2")
+        secret = module.get_global("secret")
+        leaked = probe.image.global_address(secret)
+
+        attack = build_mini_module()
+        task_b = attack.get_function("task_b")
+        # Append an arbitrary write before task_b's terminator.
+        block = task_b.blocks[0]
+        ret = block.instructions.pop()
+        b = ir.IRBuilder(task_b, block)
+        b.store(0xBAD, b.inttoptr(leaked, I32))
+        block.instructions.append(ret)
+        artifacts = build_aces(attack, board, "ACES2")
+        with pytest.raises(SecurityAbort):
+            run_image(artifacts.image)

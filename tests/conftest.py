@@ -1,0 +1,73 @@
+"""Shared fixtures and mini-firmware builders for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Tests always run the downscaled workload profiles.
+os.environ.setdefault("REPRO_PROFILE", "quick")
+
+import repro.ir as ir
+from repro.hw import Machine, stm32f4_discovery
+from repro.partition import OperationSpec
+
+
+def build_mini_module(*, shared_value: int = 7) -> ir.Module:
+    """Two tasks sharing a counter; task_a owns a secret, task_b a blob.
+
+    The canonical test firmware: main calls task_a, task_b, task_a and
+    halts with the final counter value (3 * shared_value * ... see
+    body).  Used across partition/image/runtime tests.
+    """
+    module = ir.Module("mini")
+    counter = module.add_global("counter", ir.I32, 0)
+    secret = module.add_global("secret", ir.I32, shared_value)
+    module.add_global("blob", ir.array(ir.I32, 8))
+
+    task_a, b = ir.define(module, "task_a", ir.VOID, [], source_file="a.c")
+    value = b.load(counter)
+    bump = b.load(secret)
+    b.store(b.add(value, bump), counter)
+    b.ret_void()
+
+    task_b, b = ir.define(module, "task_b", ir.VOID, [], source_file="b.c")
+    value = b.load(counter)
+    slot = b.gep(module.get_global("blob"), 0, 0)
+    b.store(value, slot)
+    b.ret_void()
+
+    main, b = ir.define(module, "main", ir.I32, [], source_file="main.c")
+    b.call(task_a)
+    b.call(task_b)
+    b.call(task_a)
+    b.halt(b.load(counter))
+    return module
+
+
+MINI_SPECS = [OperationSpec("task_a"), OperationSpec("task_b")]
+MINI_HALT_CODE = 14  # counter after two task_a increments of 7
+
+
+@pytest.fixture
+def mini_module() -> ir.Module:
+    return build_mini_module()
+
+
+@pytest.fixture
+def board():
+    return stm32f4_discovery()
+
+
+@pytest.fixture
+def machine(board) -> Machine:
+    return Machine(board)
+
+
+@pytest.fixture
+def builder():
+    """A fresh function + IRBuilder in a throwaway module."""
+    module = ir.Module("t")
+    func, b = ir.define(module, "f", ir.I32, [])
+    return module, func, b

@@ -1,0 +1,18 @@
+"""Tests for the results exporter."""
+
+from repro.eval.export import export_all
+
+
+def test_export_writes_text_and_tsv(tmp_path):
+    written = export_all(str(tmp_path))
+    names = {p.split("/")[-1] for p in written}
+    for target in ("table1", "table2", "table3",
+                   "figure9", "figure10", "figure11"):
+        assert f"{target}.txt" in names
+        assert f"{target}.tsv" in names
+    tsv = (tmp_path / "figure9.tsv").read_text().splitlines()
+    assert tsv[0].split("\t") == ["app", "runtime_pct", "flash_pct",
+                                  "sram_pct"]
+    assert any(line.startswith("PinLock") for line in tsv)
+    table1_txt = (tmp_path / "table1.txt").read_text()
+    assert "#OPs" in table1_txt

@@ -1,0 +1,118 @@
+"""Tests for the table/figure generators (quick profile, PinLock-heavy
+to keep runtime bounded)."""
+
+import pytest
+
+from repro.eval import figure9, figure10, figure11, table1, table2, table3
+from repro.eval.report import render_bars, render_table
+
+
+class TestTable1:
+    def test_pinlock_row(self):
+        row = table1.compute_row("PinLock")
+        assert row.operations == 6
+        assert row.avg_functions > 1
+        assert row.privileged_code > 8000
+        assert 0 < row.avg_gvars_pct < 100
+
+    def test_render(self):
+        rows = [table1.compute_row("PinLock")]
+        text = table1.render(rows)
+        assert "PinLock" in text
+        assert "#OPs" in text
+
+
+class TestFigure9:
+    def test_pinlock_overheads(self):
+        row = figure9.compute_row("PinLock")
+        assert -0.5 < row.runtime_pct < 10.0
+        assert 0 < row.flash_pct < 10.0
+        assert 0 <= row.sram_pct < 10.0
+
+    def test_render(self):
+        text = figure9.render([figure9.compute_row("PinLock")])
+        assert "Runtime Overhead" in text
+
+
+class TestTable2:
+    def test_pinlock_policies(self):
+        rows = table2.compute_rows("PinLock")
+        policies = [r.policy for r in rows]
+        assert policies == ["OPEC", "ACES1", "ACES2", "ACES3"]
+        opec = rows[0]
+        assert opec.privileged_app_pct == 0.0  # C-claim: OPEC never lifts
+        assert any(r.privileged_app_pct > 0 for r in rows[1:])
+
+    def test_opec_sram_overhead_exceeds_aces(self):
+        rows = {r.policy: r for r in table2.compute_rows("PinLock")}
+        # Shadow copies cost SRAM; ACES does not duplicate variables.
+        assert rows["OPEC"].sram_pct >= rows["ACES2"].sram_pct
+
+
+class TestFigure10:
+    def test_opec_pt_always_zero(self):
+        assert all(v == 0.0 for v in figure10.opec_pt_values("PinLock"))
+        assert all(v == 0.0 for v in figure10.opec_pt_values("FatFs-uSD"))
+
+    def test_aces_pt_values_in_range(self):
+        for strategy in ("ACES1", "ACES2", "ACES3"):
+            for value in figure10.aces_pt_values("FatFs-uSD", strategy):
+                assert 0.0 <= value <= 1.0
+
+    def test_cumulative_monotone(self):
+        data = figure10.compute_figure(("PinLock",))[0]
+        for strategy in data.pt_values:
+            series = data.cumulative(strategy)
+            assert all(a <= b for a, b in zip(series, series[1:]))
+            assert series[-1] == 1.0
+
+
+class TestFigure11:
+    def test_pinlock_et(self):
+        data = figure11.compute_app("PinLock")
+        assert len(data.et["OPEC"]) == len(data.tasks) == 5
+        for policy, values in data.et.items():
+            assert all(0.0 <= v <= 1.0 for v in values)
+        # OPEC's average ET never exceeds the worst ACES strategy.
+        avg = lambda vs: sum(vs) / len(vs)
+        worst_aces = max(avg(data.et[s]) for s in ("ACES1", "ACES2", "ACES3"))
+        assert avg(data.et["OPEC"]) <= worst_aces
+
+    def test_trace_and_partitions_share_module_identity(self):
+        """Regression: all-1.0 OPEC rows mean the trace ran against a
+        different module instance than the partitions."""
+        for app in ("PinLock", "FatFs-uSD"):
+            data = figure11.compute_app(app)
+            assert any(v < 1.0 for v in data.et["OPEC"])
+            assert any(v > 0.0
+                       for s in ("ACES1", "ACES2", "ACES3")
+                       for v in data.et[s])
+
+
+class TestTable3:
+    def test_tcp_echo_icalls_resolved(self):
+        row = table3.compute_row("TCP-Echo")
+        assert row.icalls >= 1
+        assert row.svf_resolved >= 1
+        assert row.max_targets >= 1
+        assert row.solve_time_s >= 0
+
+    def test_render(self):
+        text = table3.render([table3.compute_row("PinLock")])
+        assert "#Icall" in text
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_render_bars(self):
+        text = render_bars({"x": 1.0, "yy": 2.0})
+        assert "#" in text
+        assert "2.00%" in text
+
+    def test_render_bars_empty(self):
+        assert render_bars({}) == "(no data)"

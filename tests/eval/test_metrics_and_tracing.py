@@ -1,0 +1,99 @@
+"""Unit tests for the PT/ET metrics and the task tracer."""
+
+import repro.ir as ir
+from repro.eval.metrics import cumulative_ratio, et_value, pt_value, var2size
+from repro.eval.tracing import trace_tasks
+from repro.image import build_vanilla_image
+from repro.ir import I32, VOID, GlobalVariable, array
+
+from ..conftest import build_mini_module
+
+
+def _vars(*sizes, const=False):
+    return [GlobalVariable(f"v{i}", array(ir.I8, s), is_const=const)
+            for i, s in enumerate(sizes)]
+
+
+class TestVar2Size:
+    def test_sums_writable_only(self):
+        writable = _vars(4, 8)
+        const = _vars(100, const=True)
+        assert var2size(set(writable) | set(const)) == 12
+
+
+class TestPT:
+    def test_no_over_privilege_is_zero(self):
+        vs = set(_vars(4, 4))
+        assert pt_value(vs, vs) == 0.0
+
+    def test_empty_accessible_is_zero(self):
+        assert pt_value(set(), set(_vars(4))) == 0.0
+
+    def test_ratio_by_bytes(self):
+        a, b, c = _vars(4, 4, 8)
+        accessible = {a, b, c}
+        needed = {a}
+        assert pt_value(accessible, needed) == (4 + 8) / 16
+
+    def test_fully_unneeded_is_one(self):
+        accessible = set(_vars(4))
+        assert pt_value(accessible, set()) == 1.0
+
+
+class TestET:
+    def test_all_used_is_zero(self):
+        vs = set(_vars(4, 4))
+        assert et_value(vs, vs) == 0.0
+
+    def test_none_used_is_one(self):
+        needed = set(_vars(4, 4))
+        assert et_value(set(), needed) == 1.0
+
+    def test_no_needed_is_zero(self):
+        assert et_value(set(_vars(4)), set()) == 0.0
+
+    def test_used_outside_needed_ignored(self):
+        a, b = _vars(4, 4)
+        assert et_value({a, b}, {a}) == 0.0
+
+
+class TestCumulative:
+    def test_thresholds(self):
+        values = [0.0, 0.25, 0.5, 1.0]
+        assert cumulative_ratio(values, [0.0, 0.5, 1.0]) == [0.25, 0.75, 1.0]
+
+    def test_empty_values(self):
+        assert cumulative_ratio([], [0.0, 1.0]) == [1.0, 1.0]
+
+
+class TestTaskTracer:
+    def test_windows_capture_nested_functions(self, board):
+        module = build_mini_module()
+        image = build_vanilla_image(module, board)
+        trace, result = trace_tasks(image, ["task_a", "task_b"])
+        assert result.halt_code == 14
+        assert {f.name for f in trace.functions_of("task_a")} == {"task_a"}
+        assert trace.invocations["task_a"] == 2
+        assert trace.invocations["task_b"] == 1
+
+    def test_nested_helpers_attributed_to_task(self, board):
+        module = ir.Module("m")
+        helper, hb = ir.define(module, "helper", VOID, [])
+        hb.ret_void()
+        task, tb = ir.define(module, "task", VOID, [])
+        tb.call(helper)
+        tb.ret_void()
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.call(task)
+        mb.halt(0)
+        image = build_vanilla_image(module, board)
+        trace, _ = trace_tasks(image, ["task"])
+        assert {f.name for f in trace.functions_of("task")} == {
+            "task", "helper"}
+
+    def test_functions_outside_windows_not_recorded(self, board):
+        module = build_mini_module()
+        image = build_vanilla_image(module, board)
+        trace, _ = trace_tasks(image, ["task_a"])
+        for funcs in trace.executed.values():
+            assert all(f.name != "main" for f in funcs)

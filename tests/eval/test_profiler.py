@@ -1,0 +1,63 @@
+"""Tests for the per-function cycle profiler."""
+
+import repro.ir as ir
+from repro import build_opec, build_vanilla
+from repro.eval.profiler import profile_image
+from repro.hw import stm32f4_discovery
+from repro.ir import I32, VOID
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+
+def _heavy_module():
+    module = ir.Module("prof")
+    light, b = ir.define(module, "light", VOID, [])
+    b.ret_void()
+    heavy, b = ir.define(module, "heavy", VOID, [])
+    with b.for_range(0, 500):
+        pass
+    b.ret_void()
+    _m, b = ir.define(module, "main", I32, [])
+    b.call(light)
+    b.call(heavy)
+    b.call(light)
+    b.halt(0)
+    return module
+
+
+class TestProfiler:
+    def test_attribution_shape(self, board):
+        profile = profile_image(build_vanilla(_heavy_module(), board))
+        heavy = profile.functions["heavy"]
+        light = profile.functions["light"]
+        assert heavy.self_cycles > light.self_cycles * 10
+        assert heavy.calls == 1
+        assert light.calls == 2
+
+    def test_total_includes_callees(self, board):
+        profile = profile_image(build_vanilla(_heavy_module(), board))
+        main = profile.functions["main"]
+        heavy = profile.functions["heavy"]
+        assert main.total_cycles >= heavy.total_cycles
+        assert main.self_cycles < main.total_cycles
+
+    def test_cycles_sum_to_run_total(self, board):
+        profile = profile_image(build_vanilla(_heavy_module(), board))
+        total_self = sum(p.self_cycles for p in profile.functions.values())
+        assert total_self == profile.total_cycles
+
+    def test_opec_run_shows_switch_overhead_in_main(self, board):
+        """Under OPEC, the SVC/switch cost lands in the caller's self
+        time — visible as main's self-cycles growing vs the baseline."""
+        vanilla = profile_image(build_vanilla(build_mini_module(), board))
+        artifacts = build_opec(build_mini_module(), board, MINI_SPECS)
+        opec = profile_image(artifacts.image)
+        assert opec.halt_code == vanilla.halt_code
+        assert opec.functions["main"].self_cycles > \
+            vanilla.functions["main"].self_cycles
+
+    def test_render(self, board):
+        profile = profile_image(build_vanilla(_heavy_module(), board))
+        text = profile.render()
+        assert "heavy" in text
+        assert "Self %" in text

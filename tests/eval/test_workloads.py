@@ -1,0 +1,49 @@
+"""Tests for workload profiles and build/run caching."""
+
+from repro.eval import workloads
+
+
+def test_profiles_change_workload_scale():
+    quick = workloads.build_app("PinLock", profile="quick")
+    paper = workloads.build_app("PinLock", profile="paper")
+    assert quick.module is not paper.module
+    # Same structure, different stop conditions (rounds compiled into
+    # main's loop bound).
+    assert len(quick.specs) == len(paper.specs)
+
+
+def test_builds_are_cached_per_profile():
+    a = workloads.build_app("PinLock", profile="quick")
+    b = workloads.build_app("PinLock", profile="quick")
+    assert a is b
+    artifacts_a = workloads.opec_artifacts("PinLock", profile="quick")
+    artifacts_b = workloads.opec_artifacts("PinLock", profile="quick")
+    assert artifacts_a is artifacts_b
+
+
+def test_artifacts_share_the_app_module():
+    app = workloads.build_app("PinLock", profile="quick")
+    artifacts = workloads.opec_artifacts("PinLock", profile="quick")
+    assert artifacts.module is app.module
+    aces = workloads.aces_artifacts("PinLock", "ACES2", profile="quick")
+    assert aces.module is app.module
+
+
+def test_run_cache_returns_same_result():
+    first = workloads.run_build("PinLock", "vanilla", profile="quick")
+    second = workloads.run_build("PinLock", "vanilla", profile="quick")
+    assert first is second
+
+
+def test_clear_caches_resets():
+    workloads.build_app("PinLock", profile="quick")
+    workloads.clear_caches()
+    rebuilt = workloads.build_app("PinLock", profile="quick")
+    assert rebuilt is workloads.build_app("PinLock", profile="quick")
+
+
+def test_active_profile_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "paper")
+    assert workloads.active_profile() == "paper"
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+    assert workloads.active_profile() == "quick"

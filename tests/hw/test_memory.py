@@ -1,0 +1,91 @@
+"""Unit tests for the memory map."""
+
+import pytest
+
+from repro.hw import FlashRegion, HardFault, MemoryMap, MMIORegion, RamRegion
+
+
+class Echo:
+    """MMIO device echoing offset on read, logging writes."""
+
+    def __init__(self):
+        self.writes = []
+
+    def mmio_read(self, offset, size):
+        return offset
+
+    def mmio_write(self, offset, size, value):
+        self.writes.append((offset, size, value))
+
+
+class TestRam:
+    def test_little_endian_roundtrip(self):
+        ram = RamRegion("r", 0x20000000, 0x100)
+        ram.write(0x20000000, 4, 0x01020304)
+        assert ram.read(0x20000000, 4) == 0x01020304
+        assert ram.read(0x20000000, 1) == 0x04
+        assert ram.read(0x20000003, 1) == 0x01
+
+    def test_bulk_bytes(self):
+        ram = RamRegion("r", 0x20000000, 0x100)
+        ram.write_bytes(0x20000010, b"hello")
+        assert ram.read_bytes(0x20000010, 5) == b"hello"
+
+    def test_value_masked_to_size(self):
+        ram = RamRegion("r", 0, 16)
+        ram.write(0, 1, 0x1FF)
+        assert ram.read(0, 1) == 0xFF
+
+
+class TestFlash:
+    def test_runtime_write_faults(self):
+        flash = FlashRegion("f", 0x08000000, 0x100)
+        with pytest.raises(HardFault):
+            flash.write(0x08000000, 4, 1)
+
+    def test_program_writes(self):
+        flash = FlashRegion("f", 0x08000000, 0x100)
+        flash.program(0x08000010, b"\xAA\xBB")
+        assert flash.read(0x08000010, 2) == 0xBBAA
+
+
+class TestMap:
+    def test_overlap_rejected(self):
+        memory = MemoryMap()
+        memory.map(RamRegion("a", 0x100, 0x100))
+        with pytest.raises(ValueError, match="overlaps"):
+            memory.map(RamRegion("b", 0x180, 0x100))
+
+    def test_unmapped_access_faults(self):
+        memory = MemoryMap()
+        with pytest.raises(HardFault, match="unmapped"):
+            memory.read(0xDEAD0000, 4)
+
+    def test_access_crossing_region_end_faults(self):
+        memory = MemoryMap()
+        memory.map(RamRegion("a", 0x0, 0x10))
+        with pytest.raises(HardFault, match="crosses"):
+            memory.read(0x0E, 4)
+
+    def test_mmio_dispatch(self):
+        memory = MemoryMap()
+        device = Echo()
+        memory.map(MMIORegion("dev", 0x40000000, 0x100, device))
+        assert memory.read(0x40000004, 4) == 4
+        memory.write(0x40000008, 4, 99)
+        assert device.writes == [(8, 4, 99)]
+
+    def test_bulk_write_to_flash_rejected(self):
+        memory = MemoryMap()
+        memory.map(FlashRegion("f", 0x0, 0x100))
+        with pytest.raises(HardFault):
+            memory.write_bytes(0x0, b"hi")
+
+    def test_find_caches_and_still_correct(self):
+        memory = MemoryMap()
+        a = memory.map(RamRegion("a", 0x0, 0x10))
+        c = memory.map(RamRegion("c", 0x100, 0x10))
+        assert memory.find(0x5) is a
+        assert memory.find(0x105) is c
+        assert memory.find(0x6) is a
+        assert memory.find(0x50) is None

@@ -1,0 +1,104 @@
+"""Tests for the §4.3 policy-file serialisation."""
+
+import json
+
+import pytest
+
+from repro import build_opec
+from repro.image.policyfile import (
+    PolicyValidationError,
+    dump_policy,
+    load_policy,
+    policy_document,
+    validate_policy,
+    write_policy,
+)
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+
+@pytest.fixture
+def artifacts(board):
+    return build_opec(build_mini_module(), board, MINI_SPECS)
+
+
+def test_document_structure(artifacts):
+    document = policy_document(artifacts.image)
+    assert document["format"] == "opec-policy-v1"
+    assert document["module"] == "mini"
+    assert len(document["operations"]) == 3
+    main_op = next(op for op in document["operations"] if op["default"])
+    assert main_op["entry"] == "main"
+
+
+def test_externals_and_reloc_slots_serialised(artifacts):
+    document = policy_document(artifacts.image)
+    assert "counter" in document["relocation_table"]
+    task_a = next(op for op in document["operations"]
+                  if op["entry"] == "task_a")
+    assert task_a["globals"]["external"] == ["counter"]
+    assert task_a["globals"]["internal"] == ["secret"]
+
+
+def test_mpu_regions_serialised(artifacts):
+    document = policy_document(artifacts.image)
+    for op in document["operations"]:
+        numbers = [r["number"] for r in op["mpu_regions"]]
+        assert numbers == [0, 1, 2, 3, 4]
+
+
+def test_json_roundtrip(artifacts, tmp_path):
+    path = tmp_path / "policy.json"
+    write_policy(artifacts.image, str(path))
+    loaded = load_policy(path.read_text())
+    assert loaded == policy_document(artifacts.image)
+
+
+def test_validate_accepts_own_document(artifacts):
+    validate_policy(policy_document(artifacts.image), artifacts.image)
+
+
+def test_validate_rejects_tampered_functions(artifacts):
+    document = policy_document(artifacts.image)
+    document["operations"][1]["functions"].append("evil_fn")
+    with pytest.raises(PolicyValidationError, match="function set"):
+        validate_policy(document, artifacts.image)
+
+
+def test_validate_rejects_wrong_format(artifacts):
+    document = policy_document(artifacts.image)
+    document["format"] = "something-else"
+    with pytest.raises(PolicyValidationError):
+        validate_policy(document, artifacts.image)
+    with pytest.raises(PolicyValidationError):
+        load_policy(json.dumps(document))
+
+
+def test_validate_rejects_missing_operation(artifacts):
+    document = policy_document(artifacts.image)
+    document["operations"][0]["entry"] = "ghost"
+    with pytest.raises(PolicyValidationError, match="unknown operation"):
+        validate_policy(document, artifacts.image)
+
+
+def test_sanitize_ranges_included(board):
+    import repro.ir as ir
+    from repro.partition import OperationSpec
+
+    module = ir.Module("san")
+    state = module.add_global("state", ir.I32, 0, sanitize_range=(0, 3))
+    t1, b = ir.define(module, "t1", ir.VOID, [])
+    b.store(1, state)
+    b.ret_void()
+    t2, b = ir.define(module, "t2", ir.VOID, [])
+    b.store(2, state)
+    b.ret_void()
+    _m, b = ir.define(module, "main", ir.I32, [])
+    b.call(t1)
+    b.call(t2)
+    b.halt(0)
+    artifacts = build_opec(module, board,
+                           [OperationSpec("t1"), OperationSpec("t2")])
+    document = policy_document(artifacts.image)
+    t1_doc = next(op for op in document["operations"] if op["entry"] == "t1")
+    assert t1_doc["sanitize"] == {"state": [0, 3]}

@@ -1,0 +1,203 @@
+"""Failure-injection tests: corrupted media, hostile input, and
+monitor robustness under misuse."""
+
+import pytest
+
+import repro.ir as ir
+from repro import build_opec, build_vanilla, run_image
+from repro.apps import fatfs_usd, tcp_echo
+from repro.apps.lib.fatfs import make_disk_image
+from repro.apps.lib.netstack import make_tcp_frame
+from repro.hw import Machine, SecurityAbort, stm32479i_eval
+from repro.hw.peripherals import EthernetMAC, GPIO, RCC, SDCard
+from repro.ir import I32, VOID
+from repro.partition import OperationSpec
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+
+class TestCorruptedMedia:
+    def test_fatfs_app_fails_cleanly_on_unformatted_card(self):
+        """A blank card: mount fails, the firmware halts on its status
+        check instead of corrupting memory."""
+        app = fatfs_usd.build()
+
+        def setup(machine):
+            machine.attach_device("RCC", RCC())
+            for port in ("GPIOA", "GPIOB", "GPIOC"):
+                machine.attach_device(port, GPIO())
+            machine.attach_device("SDIO", SDCard(image=b"\xFF" * 4096))
+
+        result = run_image(build_vanilla(app.module, app.board),
+                           setup=setup,
+                           max_instructions=app.max_instructions)
+        assert result.halt_code == 0xDEAD  # explicit failure path
+
+    def test_fatfs_app_same_failure_under_opec(self):
+        app = fatfs_usd.build()
+        artifacts = build_opec(app.module, app.board, app.specs)
+
+        def setup(machine):
+            machine.attach_device("RCC", RCC())
+            for port in ("GPIOA", "GPIOB", "GPIOC"):
+                machine.attach_device(port, GPIO())
+            machine.attach_device("SDIO", SDCard(image=b"\xFF" * 4096))
+
+        result = run_image(artifacts.image, setup=setup,
+                           max_instructions=app.max_instructions)
+        assert result.halt_code == 0xDEAD
+
+    def test_truncated_directory_entry_reads_zero_bytes(self):
+        """A directory that names a file whose chain is free: reads
+        return no data but never crash."""
+        image = bytearray(make_disk_image({b"GOOD    ": b"payload"}))
+        # Zero the FAT: the chain vanishes while the dirent stays.
+        image[512:1024] = bytes(512)
+        app = fatfs_usd.build()
+        # Not the app's flow; exercise the library directly instead.
+        from repro.apps.hal.libc import add_libc
+        from repro.apps.hal.storage import add_sd_hal
+        from repro.apps.lib import fatfs as fatfs_lib
+
+        board = stm32479i_eval()
+        module = ir.Module("t")
+        libc = add_libc(module)
+        sd = add_sd_hal(module, board)
+        fs = fatfs_lib.add_fatfs(module, sd, libc)
+        fsobj = module.add_global("fsobj", fs.fatfs_t)
+        fil = module.add_global("fil", fs.fil_t)
+        name = module.add_global("name", ir.array(ir.I8, 8), b"GOOD    ",
+                                 is_const=True)
+        out = module.add_global("out", ir.array(ir.I8, 16))
+        _m, b = ir.define(module, "main", I32, [])
+        b.call(fs.f_mount, fsobj)
+        b.call(fs.f_open, fil, fsobj, b.gep(name, 0, 0), 0)
+        b.halt(b.call(fs.f_read, fil, fsobj, b.gep(out, 0, 0), 16))
+        machine = Machine(board)
+        machine.attach_device("SDIO", SDCard(image=bytes(image)))
+        vanilla = build_vanilla(module, board)
+        vanilla.initialize_memory(machine)
+        from repro.interp import Interpreter
+
+        code = Interpreter(machine, vanilla,
+                           max_instructions=10_000_000).run()
+        assert code <= 16  # no crash; bounded read
+
+
+class TestHostilePackets:
+    def _run_with_frames(self, frames):
+        app = tcp_echo.build(valid=1, invalid=len(frames))
+
+        def setup(machine):
+            machine.attach_device("RCC", RCC())
+            for port in ("GPIOA", "GPIOB"):
+                machine.attach_device(port, GPIO())
+            mac = machine.attach_device("ETH", EthernetMAC())
+            for frame in frames:
+                mac.enqueue_frame(frame)
+            mac.enqueue_frame(make_tcp_frame(b"legit payload!"))
+
+        artifacts = build_opec(app.module, app.board, app.specs)
+        return run_image(artifacts.image, setup=setup,
+                         max_instructions=app.max_instructions)
+
+    def test_runt_frame_survived(self):
+        result = self._run_with_frames([b"\x00" * 16])
+        assert result.halt_code == 1  # the legit packet still echoed
+
+    def test_giant_frame_clamped(self):
+        giant = make_tcp_frame(b"A" * 250)
+        result = self._run_with_frames([giant[:60] + b"B" * 400])
+        assert result.halt_code >= 1
+
+    def test_garbage_frames_counted_invalid(self):
+        result = self._run_with_frames(
+            [bytes(range(60)), b"\xFF" * 60, b"\x08\x00" * 30])
+        mac = result.machine.device("ETH")
+        assert len(mac.sent_frames()) == 1  # only the legit echo
+
+
+class TestMonitorMisuse:
+    def test_icall_into_monitored_garbage_faults_not_escapes(self, board):
+        """A hijacked function pointer to a non-function address must
+        hard-fault, never execute as code."""
+        from repro.hw import HardFault
+
+        module = build_mini_module()
+        task_b = module.get_function("task_b")
+        block = task_b.blocks[0]
+        ret = block.instructions.pop()
+        b = ir.IRBuilder(task_b, block)
+        b.icall(b.const(0x20000000), ir.FunctionType(VOID, []))
+        block.instructions.append(ret)
+        artifacts = build_opec(module, board, MINI_SPECS)
+        with pytest.raises(HardFault, match="icall"):
+            run_image(artifacts.image)
+
+    def test_deep_nested_switches_exhaust_stack_cleanly(self, board):
+        """Ten nested operation entries: every switch takes a stack
+        sub-region; past eight the monitor-relocated SP underflows the
+        stack region and the access faults — contained, not silent."""
+        module = ir.Module("deep")
+        shared = module.add_global("shared", I32, 0)
+        ops = []
+        for i in reversed(range(10)):
+            func, b = ir.define(module, f"level{i}", VOID, [])
+            b.store(b.add(b.load(shared), 1), shared)
+            slot = b.alloca(ir.array(ir.I8, 1600))
+            b.store(b.const(1, ir.I8), b.gep(slot, 0, 0))
+            if ops:
+                b.call(ops[-1])
+            b.ret_void()
+            ops.append(func)
+        _m, b = ir.define(module, "main", I32, [])
+        b.call(ops[-1])
+        b.halt(b.load(shared))
+        artifacts = build_opec(
+            module, board, [OperationSpec(f.name) for f in ops])
+        from repro.hw import HardFault
+
+        with pytest.raises((SecurityAbort, HardFault)):
+            run_image(artifacts.image)
+
+    def test_sanitizer_stops_corruption_before_publication(self, board):
+        """Even when the in-operation write is legal, an out-of-range
+        value never reaches the public copy."""
+        module = ir.Module("san")
+        level = module.add_global("speed", I32, 1, sanitize_range=(0, 10))
+        setter, b = ir.define(module, "setter", VOID, [I32])
+        b.store(setter.params[0], level)
+        b.ret_void()
+        reader, b = ir.define(module, "reader", I32, [])
+        b.ret(b.load(level))
+        _m, b = ir.define(module, "main", I32, [])
+        b.call(setter, 9999)  # "move the robot arm at speed 9999"
+        b.halt(b.call(reader))
+        artifacts = build_opec(module, board, [OperationSpec("setter"),
+                                               OperationSpec("reader")])
+        image = artifacts.image
+        with pytest.raises(SecurityAbort, match="sanitisation"):
+            run_image(artifacts.image)
+        # The public copy still holds the initial, safe value.
+        machine = Machine(board)
+        image2 = build_opec(_rebuild_san(), board,
+                            [OperationSpec("setter"),
+                             OperationSpec("reader")]).image
+        image2.initialize_memory(machine)
+        public = image2.public_addresses[
+            image2.module.get_global("speed")]
+        assert machine.read_direct(public, 4) == 1
+
+
+def _rebuild_san():
+    module = ir.Module("san")
+    level = module.add_global("speed", I32, 1, sanitize_range=(0, 10))
+    setter, b = ir.define(module, "setter", VOID, [I32])
+    b.store(setter.params[0], level)
+    b.ret_void()
+    reader, b = ir.define(module, "reader", I32, [])
+    b.ret(b.load(level))
+    _m, b = ir.define(module, "main", I32, [])
+    b.call(setter, 9999)
+    b.halt(b.call(reader))
+    return module

@@ -1,0 +1,79 @@
+"""Integration test of the Figure 7 data-synchronisation semantics.
+
+Scenario from the paper: operations B and C share variables; entering
+C from B writes B's shadows back to the public copies and refreshes
+C's shadows; returning restores B's view.  A variable B and C both
+never touch stays untouched.
+"""
+
+import repro.ir as ir
+from repro import build_opec, run_image
+from repro.ir import I32, VOID
+from repro.partition import OperationSpec
+
+
+def build_nested_module():
+    """main -> B -> C, sharing `d`/`e`; `a` is untouched by B and C."""
+    module = ir.Module("fig7")
+    a = module.add_global("a", I32, 100)   # main + op_d only
+    d = module.add_global("d", I32, 10)    # B and C
+    e = module.add_global("e", I32, 20)    # C and main
+
+    op_c, b = ir.define(module, "op_c", VOID, [])
+    b.store(b.add(b.load(d), 1), d)        # C increments d
+    b.store(b.add(b.load(e), 2), e)        # C increments e
+    b.ret_void()
+
+    op_b, b = ir.define(module, "op_b", VOID, [])
+    b.store(b.add(b.load(d), 5), d)        # B bumps d before entering C
+    b.call(op_c)
+    b.store(b.add(b.load(d), 5), d)        # and again after C returns
+    b.ret_void()
+
+    op_d, b = ir.define(module, "op_d", VOID, [])
+    b.store(b.add(b.load(a), 1), a)
+    b.ret_void()
+
+    _m, b = ir.define(module, "main", I32, [])
+    b.call(op_b)
+    b.call(op_d)
+    total = b.add(b.load(a), b.add(b.load(d), b.load(e)))
+    b.halt(total)
+    return module
+
+
+SPECS = [OperationSpec("op_b"), OperationSpec("op_c"), OperationSpec("op_d")]
+
+
+def test_nested_switch_synchronises_shared_values(board):
+    artifacts = build_opec(build_nested_module(), board, SPECS)
+    result = run_image(artifacts.image)
+    # a=101, d=10+5+1+5=21, e=22 -> 144.  Any missed write-back or
+    # refresh (Fig. 7 arrows) breaks this.
+    assert result.halt_code == 101 + 21 + 22
+
+
+def test_unshared_variable_not_synchronised_between_b_and_c(board):
+    """`a` has no shadow in B's or C's section (Fig. 7: "does not
+    synchronise a")."""
+    artifacts = build_opec(build_nested_module(), board, SPECS)
+    policy = artifacts.policy
+    a = artifacts.module.get_global("a")
+    op_b = policy.operation_by_entry("op_b")
+    op_c = policy.operation_by_entry("op_c")
+    assert a not in policy.section_vars(op_b)
+    assert a not in policy.section_vars(op_c)
+
+
+def test_shadow_values_synchronised_at_each_boundary(board):
+    artifacts = build_opec(build_nested_module(), board, SPECS)
+    result = run_image(artifacts.image)
+    machine = result.machine
+    image = artifacts.image
+    policy = artifacts.policy
+    d = artifacts.module.get_global("d")
+    # After the run, the public copy holds the final value and every
+    # accessor's shadow was refreshed on its last sync.
+    assert machine.read_direct(image.public_addresses[d], 4) == 21
+    op_c = policy.operation_by_entry("op_c")
+    assert machine.read_direct(image.shadow_address(op_c, d), 4) in (16, 21)

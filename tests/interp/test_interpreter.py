@@ -1,0 +1,238 @@
+"""Unit tests for the IR interpreter."""
+
+import pytest
+
+import repro.ir as ir
+from repro.hw import HardFault, Machine, MachineHalt, stm32f4_discovery
+from repro.image import build_vanilla_image
+from repro.interp import ExecutionLimitExceeded, Interpreter
+from repro.ir import I8, I16, I32, VOID
+
+
+def execute(module, entry="main", args=(), max_instructions=1_000_000):
+    board = stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+    machine = Machine(board)
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image, max_instructions=max_instructions)
+    return interp.run(entry=entry, args=tuple(args)), interp
+
+
+def expr_module(build):
+    """Module whose main halts with the value ``build(b)`` produces."""
+    module = ir.Module("m")
+    _f, b = ir.define(module, "main", I32, [])
+    b.halt(build(b))
+    return module
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op, a, b_, expected", [
+        ("add", 3, 4, 7),
+        ("sub", 3, 4, 0xFFFFFFFF),
+        ("mul", 0xFFFF, 0x10001, 0xFFFFFFFF),
+        ("udiv", 7, 2, 3),
+        ("urem", 7, 2, 1),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("shl", 1, 4, 16),
+        ("lshr", 0x80000000, 31, 1),
+        ("ashr", 0x80000000, 31, 0xFFFFFFFF),
+    ])
+    def test_binops(self, op, a, b_, expected):
+        module = expr_module(lambda b: b.binop(op, a, b_))
+        assert execute(module)[0] == expected
+
+    def test_sdiv_truncates_toward_zero(self):
+        module = expr_module(
+            lambda b: b.binop("sdiv", b.const(-7 & 0xFFFFFFFF), b.const(2)))
+        assert execute(module)[0] == (-3) & 0xFFFFFFFF
+
+    def test_srem_sign(self):
+        module = expr_module(
+            lambda b: b.binop("srem", b.const(-7 & 0xFFFFFFFF), b.const(2)))
+        assert execute(module)[0] == (-1) & 0xFFFFFFFF
+
+    def test_division_by_zero_yields_zero(self):
+        module = expr_module(lambda b: b.udiv(5, 0))
+        assert execute(module)[0] == 0
+
+    @pytest.mark.parametrize("pred, a, b_, expected", [
+        ("eq", 5, 5, 1), ("ne", 5, 5, 0),
+        ("ult", 1, 0xFFFFFFFF, 1), ("slt", 1, 0xFFFFFFFF, 0),
+        ("uge", 0xFFFFFFFF, 1, 1), ("sge", 0xFFFFFFFF, 1, 0),
+        ("sle", 0x80000000, 0, 1), ("ugt", 0x80000000, 0, 1),
+    ])
+    def test_icmp_signedness(self, pred, a, b_, expected):
+        module = expr_module(lambda b: b.icmp(pred, a, b_))
+        assert execute(module)[0] == expected
+
+
+class TestCasts:
+    def test_trunc(self):
+        module = expr_module(lambda b: b.zext(b.trunc(b.const(0x1FF), I8)))
+        assert execute(module)[0] == 0xFF
+
+    def test_sext(self):
+        module = expr_module(
+            lambda b: b.cast("sext", b.const(0x80, I8), I32))
+        assert execute(module)[0] == 0xFFFFFF80
+
+    def test_ptr_roundtrip(self):
+        def build(b):
+            slot = b.alloca(I32)
+            b.store(11, slot)
+            as_int = b.ptrtoint(slot)
+            back = b.inttoptr(as_int, I32)
+            return b.load(back)
+
+        assert execute(expr_module(build))[0] == 11
+
+
+class TestSelectAndMemory:
+    def test_select(self):
+        module = expr_module(lambda b: b.select(b.icmp("eq", 1, 1), 10, 20))
+        assert execute(module)[0] == 10
+
+    def test_sub_word_store_does_not_clobber(self):
+        def build(b):
+            slot = b.alloca(I32)
+            b.store(0xAABBCCDD, slot)
+            b.store(0x11, b.bitcast(slot, ir.ptr(I8)))
+            return b.load(slot)
+
+        assert execute(expr_module(build))[0] == 0xAABBCC11
+
+    def test_gep_struct_field_write(self):
+        module = ir.Module("m")
+        pair = module.struct("pair", [("a", I32), ("b", I32)])
+        g = module.add_global("g", pair)
+        _f, b = ir.define(module, "main", I32, [])
+        b.store(5, b.gep(g, 0, 0))
+        b.store(7, b.gep(g, 0, 1))
+        b.halt(b.add(b.load(b.gep(g, 0, 0)), b.load(b.gep(g, 0, 1))))
+        assert execute(module)[0] == 12
+
+    def test_negative_gep_index(self):
+        def build(b):
+            arr = b.alloca(I32, count=4)
+            second = b.gep(arr, 1)
+            b.store(42, second)
+            back = b.gep(second, b.sub(0, 1))
+            b.store(9, back)
+            return b.load(arr)
+
+        assert execute(expr_module(build))[0] == 9
+
+
+class TestCalls:
+    def test_call_returns_value(self):
+        module = ir.Module("m")
+        double, db = ir.define(module, "double", I32, [I32])
+        db.ret(db.add(double.params[0], double.params[0]))
+        _f, b = ir.define(module, "main", I32, [])
+        b.halt(b.call(double, 21))
+        assert execute(module)[0] == 42
+
+    def test_recursion(self):
+        module = ir.Module("m")
+        fib, fb = ir.define(module, "fib", I32, [I32])
+        n = fib.params[0]
+        small = fb.icmp("ult", n, 2)
+        with fb.if_then(small):
+            fb.ret(n)
+        a = fb.call(fib, fb.sub(n, 1))
+        c = fb.call(fib, fb.sub(n, 2))
+        fb.ret(fb.add(a, c))
+        _f, b = ir.define(module, "main", I32, [])
+        b.halt(b.call(fib, 10))
+        assert execute(module)[0] == 55
+
+    def test_icall_through_function_address(self):
+        module = ir.Module("m")
+        inc, ib = ir.define(module, "inc", I32, [I32])
+        ib.ret(ib.add(inc.params[0], 1))
+        _f, b = ir.define(module, "main", I32, [])
+        fnptr = b.ptrtoint(inc)
+        b.halt(b.icall(fnptr, inc.ftype, 9))
+        assert execute(module)[0] == 10
+
+    def test_icall_to_garbage_faults(self):
+        module = ir.Module("m")
+        helper, hb = ir.define(module, "h", I32, [I32])
+        hb.ret(helper.params[0])
+        _f, b = ir.define(module, "main", I32, [])
+        b.halt(b.icall(b.const(0x1234), helper.ftype, 1))
+        with pytest.raises(HardFault, match="icall"):
+            execute(module)
+
+    def test_call_to_declaration_faults(self):
+        module = ir.Module("m")
+        ext = module.declare_function("ext", ir.FunctionType(VOID, []))
+        _f, b = ir.define(module, "main", I32, [])
+        b.call(ext)
+        b.halt(0)
+        with pytest.raises(HardFault, match="undefined function"):
+            execute(module)
+
+
+class TestStackAndLimits:
+    def test_stack_overflow_detected(self):
+        module = ir.Module("m")
+        rec, rb = ir.define(module, "rec", VOID, [])
+        rb.alloca(ir.array(I8, 4096))
+        rb.call(rec)
+        rb.ret_void()
+        _f, b = ir.define(module, "main", I32, [])
+        b.call(rec)
+        b.halt(0)
+        with pytest.raises(HardFault, match="stack overflow"):
+            execute(module)
+
+    def test_sp_restored_after_return(self):
+        module = ir.Module("m")
+        leaf, lb = ir.define(module, "leaf", VOID, [])
+        lb.alloca(ir.array(I8, 64))
+        lb.ret_void()
+        _f, b = ir.define(module, "main", I32, [])
+        with b.for_range(0, 10_000):
+            b.call(leaf)
+        b.halt(1)
+        code, interp = execute(module, max_instructions=2_000_000)
+        assert code == 1
+        # Only main's own loop-counter alloca remains on the stack: the
+        # 10k leaf frames (64 bytes each) were all popped.
+        assert interp.sp == interp.image.stack_top - 4
+
+    def test_instruction_budget(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "main", I32, [])
+        with b.while_loop(lambda: b.icmp("eq", 1, 1)):
+            pass
+        b.halt(0)
+        with pytest.raises(ExecutionLimitExceeded):
+            execute(module, max_instructions=1000)
+
+    def test_unreachable_faults(self):
+        module = ir.Module("m")
+        _f, b = ir.define(module, "main", I32, [])
+        b.unreachable()
+        with pytest.raises(HardFault, match="unreachable"):
+            execute(module)
+
+
+class TestCycles:
+    def test_cycles_advance_deterministically(self):
+        module = expr_module(lambda b: b.add(1, 2))
+        _code, interp_a = execute(module)
+        module2 = expr_module(lambda b: b.add(1, 2))
+        _code, interp_b = execute(module2)
+        assert interp_a.machine.cycles == interp_b.machine.cycles > 0
+
+    def test_div_costs_more_than_add(self):
+        add_mod = expr_module(lambda b: b.add(6, 2))
+        div_mod = expr_module(lambda b: b.udiv(6, 2))
+        _c, ia = execute(add_mod)
+        _c, ib = execute(div_mod)
+        assert ib.machine.cycles > ia.machine.cycles

@@ -1,0 +1,158 @@
+"""Unit tests for the interrupt model (SysTick tick + IRQ dispatch)."""
+
+import pytest
+
+import repro.ir as ir
+from repro import build_opec, build_vanilla, run_image
+from repro.hw import Machine, stm32f4_discovery
+from repro.hw.machine import SYSTICK_IRQ
+from repro.image import build_vanilla_image
+from repro.interp import Interpreter
+from repro.ir import I32, VOID
+from repro.partition import OperationSpec, PartitionError
+
+
+def _tick_module(*, arm: bool = True, work: int = 50_000):
+    """main arms SysTick, spins, halts with the tick count."""
+    module = ir.Module("ticks")
+    ticks = module.add_global("uwTick", I32, 0, source_file="hal.c")
+    handler, b = ir.define(module, "SysTick_Handler", VOID, [],
+                           source_file="stm32_it.c", irq_number=15)
+    b.store(b.add(b.load(ticks), 1), ticks)
+    b.ret_void()
+    _m, b = ir.define(module, "main", I32, [], source_file="main.c")
+    if arm:
+        b.store(999, b.mmio(0xE000E014))   # RVR: tick every 1000 cycles
+        b.store(7, b.mmio(0xE000E010))     # CSR: ENABLE | TICKINT
+    with b.for_range(0, work):
+        pass
+    b.halt(b.load(ticks))
+    return module
+
+
+class TestSysTickIRQ:
+    def test_handler_fires_periodically(self):
+        code = run_image(build_vanilla(_tick_module(), stm32f4_discovery()),
+                         max_instructions=10_000_000).halt_code
+        # ~50k loop iterations * ~7 cycles / 1000-cycle period.
+        assert code > 100
+
+    def test_no_ticks_when_not_armed(self):
+        code = run_image(
+            build_vanilla(_tick_module(arm=False), stm32f4_discovery()),
+            max_instructions=10_000_000).halt_code
+        assert code == 0
+
+    def test_disarm_stops_ticks(self, machine):
+        machine.store(0xE000E014, 4, 99)
+        machine.store(0xE000E010, 4, 7)
+        machine.consume(1000)
+        assert machine.pending_irqs
+        machine.pending_irqs.clear()
+        machine.store(0xE000E010, 4, 0)  # disable
+        machine.consume(10_000)
+        assert not machine.pending_irqs
+
+    def test_long_stall_coalesces_to_one_tick(self, machine):
+        machine.arm_systick(999)
+        machine.consume(100_000)  # a hundred periods in one stall
+        assert machine.pending_irqs.count(SYSTICK_IRQ) == 1
+        machine.pending_irqs.clear()
+        machine.consume(1000)
+        assert machine.pending_irqs.count(SYSTICK_IRQ) == 1
+
+
+class TestDispatchSemantics:
+    def test_handler_runs_privileged_then_restores(self):
+        module = ir.Module("m")
+        seen = module.add_global("seen_priv", I32, 0xFF)
+        handler, b = ir.define(module, "H", VOID, [], irq_number=40)
+        b.store(1, seen)
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [])
+        with b.for_range(0, 100):
+            pass
+        b.halt(b.load(seen))
+
+        board = stm32f4_discovery()
+        image = build_vanilla_image(module, board)
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        machine.drop_privilege()
+        interp = Interpreter(machine, image)
+        privilege_during = []
+        original = interp._dispatch_irq
+
+        def spy(number):
+            original(number)
+            privilege_during.append(machine.privileged)
+
+        interp._dispatch_irq = spy
+        machine.raise_irq(40)
+        assert interp.run() == 1
+        assert privilege_during == [True]
+        assert not machine.privileged  # restored after exception return
+
+    def test_unvectored_irq_dropped(self):
+        module = _tick_module(arm=False, work=10)
+        board = stm32f4_discovery()
+        image = build_vanilla_image(module, board)
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        interp = Interpreter(machine, image)
+        machine.raise_irq(77)  # nobody handles this one
+        assert interp.run() == 0
+
+    def test_no_nesting(self):
+        """A handler is never preempted by another pending IRQ."""
+        module = ir.Module("m")
+        depth = module.add_global("depth", I32, 0)
+        worst = module.add_global("worst", I32, 0)
+        handler, b = ir.define(module, "H", VOID, [], irq_number=41)
+        d = b.add(b.load(depth), 1)
+        b.store(d, depth)
+        with b.if_then(b.icmp("ugt", d, b.load(worst))):
+            b.store(d, worst)
+        with b.for_range(0, 10):
+            pass
+        b.store(b.sub(b.load(depth), 1), depth)
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [])
+        with b.for_range(0, 50):
+            pass
+        b.halt(b.load(worst))
+        board = stm32f4_discovery()
+        image = build_vanilla_image(module, board)
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        interp = Interpreter(machine, image)
+        for _ in range(5):
+            machine.raise_irq(41)
+        assert interp.run() == 1  # max observed depth
+
+
+class TestOpecInteraction:
+    def test_handler_excluded_from_operations_and_cannot_be_entry(self):
+        from repro.analysis import ResourceAnalysis, build_call_graph
+        from repro.partition import partition_operations
+
+        module = _tick_module()
+        board = stm32f4_discovery()
+        graph = build_call_graph(module)
+        resources = ResourceAnalysis(module, board, graph.andersen)
+        with pytest.raises(PartitionError, match="interrupt"):
+            partition_operations(
+                module, graph, [OperationSpec("SysTick_Handler")], resources)
+
+    def test_pinlock_ticks_under_opec(self):
+        from repro.apps import pinlock
+
+        app = pinlock.build(rounds=2)
+        artifacts = build_opec(app.module, app.board, app.specs)
+        result = run_image(artifacts.image, setup=app.setup,
+                           max_instructions=app.max_instructions)
+        app.verify_run(result.machine, result.halt_code)
+        uw_tick = app.module.get_global("uwTick")
+        address = artifacts.image.global_address(uw_tick)
+        # The ISR ran (privileged) while unprivileged operations executed.
+        assert result.machine.read_direct(address, 4) > 0

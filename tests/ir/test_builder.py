@@ -1,0 +1,136 @@
+"""Unit tests for the IRBuilder, including structured control flow."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import I8, I32, VOID
+
+
+def run_function(module, entry="f", args=()):
+    """Execute a test module on a bare machine (no MPU)."""
+    from repro.hw import Machine, stm32f4_discovery
+    from repro.image import build_vanilla_image
+    from repro.interp import Interpreter
+
+    board = stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+    machine = Machine(board)
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image)
+    return interp.run(entry=entry, args=tuple(args))
+
+
+class TestBasics:
+    def test_store_coerces_int_to_pointee_width(self, builder):
+        module, _func, b = builder
+        slot = b.alloca(I8)
+        b.store(300, slot)  # wraps to i8
+        b.halt(b.zext(b.load(slot)))
+        assert run_function(module) == 300 & 0xFF
+
+    def test_define_creates_entry_block(self):
+        module = ir.Module("m")
+        func, b = ir.define(module, "g", VOID, [])
+        assert func.entry_block.name == "entry"
+        b.ret_void()
+        ir.verify_module(module)
+
+    def test_call_coerces_int_args(self):
+        module = ir.Module("m")
+        callee, cb = ir.define(module, "id8", I8, [I8])
+        cb.ret(callee.params[0])
+        _main, b = ir.define(module, "f", I32, [])
+        result = b.call(callee, 258)
+        b.halt(b.zext(result))
+        assert run_function(module) == 2
+
+
+class TestIfThen:
+    def test_taken(self, builder):
+        module, _func, b = builder
+        slot = b.alloca(I32)
+        b.store(0, slot)
+        with b.if_then(b.icmp("eq", 1, 1)):
+            b.store(5, slot)
+        b.halt(b.load(slot))
+        assert run_function(module) == 5
+
+    def test_not_taken(self, builder):
+        module, _func, b = builder
+        slot = b.alloca(I32)
+        b.store(0, slot)
+        with b.if_then(b.icmp("eq", 1, 2)):
+            b.store(5, slot)
+        b.halt(b.load(slot))
+        assert run_function(module) == 0
+
+
+class TestIfElse:
+    @pytest.mark.parametrize("cond, expected", [(1, 10), (0, 20)])
+    def test_both_arms(self, cond, expected):
+        module = ir.Module("m")
+        _func, b = ir.define(module, "f", I32, [])
+        slot = b.alloca(I32)
+        with b.if_else(b.icmp("eq", cond, 1)) as otherwise:
+            b.store(10, slot)
+            otherwise()
+            b.store(20, slot)
+        b.halt(b.load(slot))
+        assert run_function(module) == expected
+
+    def test_early_return_in_then(self):
+        module = ir.Module("m")
+        _func, b = ir.define(module, "f", I32, [])
+        with b.if_else(b.icmp("eq", 1, 1)) as otherwise:
+            b.halt(1)
+            otherwise()
+        b.halt(2)
+        ir.verify_module(module)
+        assert run_function(module) == 1
+
+
+class TestLoops:
+    def test_while_loop(self, builder):
+        module, _func, b = builder
+        i = b.alloca(I32)
+        b.store(0, i)
+        with b.while_loop(lambda: b.icmp("slt", b.load(i), 10)):
+            b.store(b.add(b.load(i), 3), i)
+        b.halt(b.load(i))
+        assert run_function(module) == 12
+
+    def test_for_range_sums(self, builder):
+        module, _func, b = builder
+        total = b.alloca(I32)
+        b.store(0, total)
+        with b.for_range(0, 5) as load_i:
+            b.store(b.add(b.load(total), load_i()), total)
+        b.halt(b.load(total))
+        assert run_function(module) == 10
+
+    def test_for_range_step(self, builder):
+        module, _func, b = builder
+        count = b.alloca(I32)
+        b.store(0, count)
+        with b.for_range(0, 10, step=3):
+            b.store(b.add(b.load(count), 1), count)
+        b.halt(b.load(count))
+        assert run_function(module) == 4  # 0, 3, 6, 9
+
+    def test_nested_loops(self, builder):
+        module, _func, b = builder
+        total = b.alloca(I32)
+        b.store(0, total)
+        with b.for_range(0, 3):
+            with b.for_range(0, 4):
+                b.store(b.add(b.load(total), 1), total)
+        b.halt(b.load(total))
+        assert run_function(module) == 12
+
+
+class TestMmio:
+    def test_mmio_constant_pointer(self, builder):
+        _module, _func, b = builder
+        p = b.mmio(0x40011000)
+        assert p.address == 0x40011000
+        assert p.type == ir.ptr(I32)

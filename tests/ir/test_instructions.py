@@ -1,0 +1,117 @@
+"""Unit tests for instruction construction and typing rules."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import (
+    Alloca,
+    BinOp,
+    Constant,
+    GEP,
+    ICmp,
+    Load,
+    Store,
+    StructType,
+    I8,
+    I32,
+    array,
+    ptr,
+)
+from repro.ir.values import ConstantPointer
+
+
+class TestAlloca:
+    def test_result_is_pointer(self):
+        a = Alloca(I32)
+        assert a.type == ptr(I32)
+
+    def test_byte_size_word_aligned(self):
+        assert Alloca(I8).byte_size == 4
+        assert Alloca(I8, count=3).byte_size == 12
+        assert Alloca(array(I8, 5)).byte_size == 8
+
+    def test_struct_size(self):
+        s = StructType("s", [("a", I32), ("b", I8)])
+        assert Alloca(s).byte_size == 8
+
+
+class TestLoadStore:
+    def test_load_type_from_pointee(self):
+        p = ConstantPointer(0x20000000, ptr(I16 := ir.I16))
+        assert Load(p).type == ir.I16
+
+    def test_load_rejects_non_pointer(self):
+        with pytest.raises(TypeError):
+            Load(Constant(5))
+
+    def test_load_rejects_aggregate(self):
+        p = ConstantPointer(0x20000000, ptr(array(I32, 4)))
+        with pytest.raises(TypeError):
+            Load(p)
+
+    def test_store_rejects_non_pointer(self):
+        with pytest.raises(TypeError):
+            Store(Constant(1), Constant(2))
+
+
+class TestGEP:
+    def test_scalar_pointer_first_index(self):
+        p = ConstantPointer(0x20000000, ptr(I32))
+        g = GEP(p, [Constant(2)])
+        assert g.type == ptr(I32)
+
+    def test_into_array(self):
+        p = ConstantPointer(0x20000000, ptr(array(I32, 8)))
+        g = GEP(p, [Constant(0), Constant(3)])
+        assert g.type == ptr(I32)
+
+    def test_into_struct_needs_constant(self):
+        s = StructType("s", [("a", I32), ("b", I8)])
+        p = ConstantPointer(0x20000000, ptr(s))
+        g = GEP(p, [Constant(0), Constant(1)])
+        assert g.type == ptr(I8)
+        load = Load(GEP(p, [Constant(0), Constant(0)]))
+        assert load.type == I32
+
+    def test_struct_dynamic_index_rejected(self):
+        s = StructType("s", [("a", I32)])
+        p = ConstantPointer(0x20000000, ptr(s))
+        dynamic = Alloca(I32)
+        with pytest.raises(TypeError):
+            GEP(p, [Constant(0), Load(dynamic)])
+
+    def test_cannot_index_scalar(self):
+        p = ConstantPointer(0x20000000, ptr(I32))
+        with pytest.raises(TypeError):
+            GEP(p, [Constant(0), Constant(1)])
+
+
+class TestBinOpICmp:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("pow", Constant(1), Constant(2))
+
+    def test_icmp_result_i32(self):
+        c = ICmp("eq", Constant(1), Constant(1))
+        assert c.type == I32
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            ICmp("gt", Constant(1), Constant(2))
+
+
+class TestTerminators:
+    def test_block_rejects_second_terminator(self, builder):
+        _module, _func, b = builder
+        b.ret(0)
+        with pytest.raises(ValueError):
+            b.ret(1)
+
+    def test_successors(self, builder):
+        _module, func, b = builder
+        then_block = b.add_block("t")
+        else_block = b.add_block("e")
+        br = b.br(b.icmp("eq", 1, 1), then_block, else_block)
+        assert br.successors == [then_block, else_block]
+        b.position_at_end(then_block)
+        assert b.ret(0).successors == []

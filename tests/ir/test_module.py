@@ -1,0 +1,56 @@
+"""Unit tests for the Module container."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import I32, VOID, FunctionType
+
+
+def test_duplicate_function_rejected():
+    module = ir.Module("m")
+    ir.define(module, "f", VOID, [])
+    with pytest.raises(ValueError, match="duplicate function"):
+        ir.define(module, "f", VOID, [])
+
+
+def test_duplicate_global_rejected():
+    module = ir.Module("m")
+    module.add_global("g", I32)
+    with pytest.raises(ValueError, match="duplicate global"):
+        module.add_global("g", I32)
+
+
+def test_declare_function_has_no_body():
+    module = ir.Module("m")
+    ext = module.declare_function("ext", FunctionType(VOID, [I32]))
+    assert ext.is_declaration
+    assert ext not in module.defined_functions()
+
+
+def test_writable_globals_excludes_const():
+    module = ir.Module("m")
+    module.add_global("w", I32, 1)
+    module.add_global("k", I32, 2, is_const=True)
+    assert [g.name for g in module.writable_globals()] == ["w"]
+    assert module.total_global_bytes() == 4
+
+
+def test_struct_registry():
+    module = ir.Module("m")
+    pair = module.struct("pair", [("a", I32), ("b", I32)])
+    assert module.structs["pair"] is pair
+
+
+def test_irq_handler_flag_via_irq_number():
+    module = ir.Module("m")
+    handler, b = ir.define(module, "H", VOID, [], irq_number=15)
+    b.ret_void()
+    assert handler.is_interrupt_handler
+    assert handler.irq_number == 15
+
+
+def test_instruction_count():
+    module = ir.Module("m")
+    func, b = ir.define(module, "f", I32, [])
+    b.halt(b.add(1, 2))
+    assert func.instruction_count() == 2

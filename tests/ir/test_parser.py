@@ -1,0 +1,161 @@
+"""Tests for the OPEC-IR parser: round trips and error reporting."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import ParseError, parse_module, print_module, verify_module
+
+from ..conftest import build_mini_module
+
+
+def roundtrip(module):
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    assert print_module(parsed) == text
+    return parsed
+
+
+def execute(module, setup=None, board=None, max_instructions=50_000_000):
+    from repro.hw import Machine, stm32f4_discovery
+    from repro.image import build_vanilla_image
+    from repro.interp import Interpreter
+
+    board = board or stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+    machine = Machine(board)
+    if setup:
+        setup(machine)
+    image.initialize_memory(machine)
+    return Interpreter(machine, image,
+                       max_instructions=max_instructions).run(), machine
+
+
+class TestRoundTrip:
+    def test_mini_module_text_identity(self):
+        roundtrip(build_mini_module())
+
+    def test_mini_module_execution_identity(self):
+        original = build_mini_module()
+        code_a, _ = execute(original)
+        parsed = parse_module(print_module(build_mini_module()))
+        code_b, _ = execute(parsed)
+        assert code_a == code_b == 14
+
+    def test_pinlock_roundtrip_and_run(self):
+        """The flagship app — structs, MMIO, icalls, IRQ handlers,
+        sanitize ranges, const data — survives a text round trip and
+        still unlocks."""
+        from repro.apps import pinlock
+
+        app = pinlock.build(rounds=2)
+        parsed = roundtrip(app.module)
+        # The parsed module is a *new* module: run it end to end.
+        from repro import build_vanilla, run_image
+
+        result = run_image(build_vanilla(parsed, app.board),
+                           setup=app.setup,
+                           max_instructions=app.max_instructions)
+        assert result.halt_code == 2
+
+    def test_parsed_pinlock_partitions_identically(self):
+        from repro import build_opec
+        from repro.apps import pinlock
+
+        app = pinlock.build(rounds=1)
+        original = build_opec(app.module, app.board, app.specs)
+        parsed_module = parse_module(print_module(pinlock.build(1).module))
+        parsed = build_opec(parsed_module, app.board, app.specs)
+        for op_a, op_b in zip(original.operations, parsed.operations):
+            assert op_a.name == op_b.name
+            assert len(op_a.functions) == len(op_b.functions)
+            assert {g.name for g in op_a.resources.globals_all} == \
+                {g.name for g in op_b.resources.globals_all}
+            assert {p.name for p in op_a.resources.peripherals} == \
+                {p.name for p in op_b.resources.peripherals}
+
+    def test_coremark_roundtrip(self):
+        from repro.apps import coremark
+
+        app = coremark.build(iterations=1)
+        parsed = roundtrip(app.module)
+        code, machine = execute(
+            parsed, setup=app.setup, board=app.board,
+            max_instructions=app.max_instructions)
+        assert code == coremark.expected_crc(1)
+
+
+class TestPieces:
+    def test_struct_and_global_attrs(self):
+        text = """
+; module t
+%pair = type { i32 a, i8* link }
+@g = global %pair zeroinitializer, file "x.c"
+@s = global i32 7, sanitize 0 9
+@k = constant [2 x i8] c"4142"
+"""
+        module = parse_module(text)
+        assert module.structs["pair"].fields[1][0] == "link"
+        assert module.get_global("g").source_file == "x.c"
+        assert module.get_global("s").sanitize_range == (0, 9)
+        assert module.get_global("k").is_const
+        assert module.get_global("k").encode_initializer() == b"AB"
+
+    def test_declaration(self):
+        module = parse_module("declare void @ext(i32 %arg0)\n")
+        assert module.get_function("ext").is_declaration
+
+    def test_function_attributes(self):
+        text = """
+define void @H() file "it.c" irq 15 {
+entry:
+  ret void
+}
+"""
+        module = parse_module(text)
+        handler = module.get_function("H")
+        assert handler.irq_number == 15
+        assert handler.is_interrupt_handler
+        assert handler.source_file == "it.c"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+; a comment
+define i32 @main() {   ; trailing comment
+entry:
+  ; full-line comment
+  ret i32 5
+}
+"""
+        code, _ = execute(parse_module(text))
+        assert code == 5  # main's return value becomes the halt code
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        text = "define void @f() {\nentry:\n  frobnicate\n}\n"
+        with pytest.raises(ParseError, match="unknown opcode"):
+            parse_module(text)
+
+    def test_undefined_value(self):
+        text = "define void @f() {\nentry:\n  halt i32 %nope\n}\n"
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_module(text)
+
+    def test_unknown_block(self):
+        text = "define void @f() {\nentry:\n  jump label %missing\n}\n"
+        with pytest.raises(ParseError, match="unknown block"):
+            parse_module(text)
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_module("define void @f() {\nentry:\n  ret void\n")
+
+    def test_unknown_struct(self):
+        with pytest.raises(ParseError, match="unknown struct"):
+            parse_module("@g = global %nope zeroinitializer\n")
+
+    def test_unknown_callee(self):
+        text = "define void @f() {\nentry:\n  call void @ghost()\n  ret void\n}\n"
+        with pytest.raises(ParseError, match="unknown @ghost"):
+            parse_module(text)

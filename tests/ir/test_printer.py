@@ -1,0 +1,50 @@
+"""Unit tests for the textual IR printer."""
+
+import repro.ir as ir
+from repro.ir import I32, VOID, print_function, print_module
+
+
+def test_print_function_contains_opcodes(mini_module):
+    text = print_function(mini_module.get_function("task_a"))
+    assert "define void @task_a()" in text
+    assert "load" in text
+    assert "store" in text
+    assert "ret void" in text
+
+
+def test_print_module_lists_globals_and_structs():
+    module = ir.Module("m")
+    module.struct("pair", [("a", I32), ("b", I32)])
+    module.add_global("g", I32, 1)
+    module.add_global("k", I32, 2, is_const=True)
+    _f, b = ir.define(module, "f", VOID, [])
+    b.ret_void()
+    text = print_module(module)
+    assert "%pair = type" in text
+    assert "@g = global i32" in text
+    assert "@k = constant i32" in text
+
+
+def test_print_declaration():
+    module = ir.Module("m")
+    module.declare_function("ext", ir.FunctionType(VOID, [I32]))
+    text = print_module(module)
+    assert "declare void @ext(i32 %arg0)" in text
+
+
+def test_print_control_flow(mini_module):
+    text = print_function(mini_module.get_function("main"))
+    assert "call void @task_a()" in text
+    assert "halt i32" in text
+
+
+def test_print_branches():
+    module = ir.Module("m")
+    _f, b = ir.define(module, "f", I32, [])
+    with b.if_then(b.icmp("eq", 1, 1)):
+        pass
+    b.halt(0)
+    text = print_function(module.get_function("f"))
+    assert "br" in text
+    assert "label %then" in text
+    assert "icmp eq" in text

@@ -1,0 +1,121 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    I8,
+    I16,
+    I32,
+    VOID,
+    array,
+    ptr,
+)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+
+    def test_mask(self):
+        assert I8.mask == 0xFF
+        assert I32.mask == 0xFFFFFFFF
+
+    def test_scalar(self):
+        assert I32.is_scalar
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+
+    def test_equality_is_structural(self):
+        assert IntType(32) == I32
+        assert IntType(8) != I32
+        assert hash(IntType(32)) == hash(I32)
+
+
+class TestPointerType:
+    def test_size_is_word(self):
+        assert ptr(I8).size == 4
+        assert ptr(array(I32, 100)).size == 4
+
+    def test_structural_equality(self):
+        assert ptr(I8) == PointerType(I8)
+        assert ptr(I8) != ptr(I32)
+
+    def test_str(self):
+        assert str(ptr(I32)) == "i32*"
+
+
+class TestArrayType:
+    def test_size(self):
+        assert array(I8, 10).size == 10
+        assert array(I32, 10).size == 40
+
+    def test_stride_pads_to_alignment(self):
+        pair = StructType("pair", [("a", I32), ("b", I8)])
+        arr = ArrayType(pair, 4)
+        assert arr.stride == 8  # 5 bytes padded to 4-alignment
+        assert arr.size == 32
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_alignment_follows_element(self):
+        assert array(I8, 7).alignment == 1
+        assert array(I32, 7).alignment == 4
+
+
+class TestStructType:
+    def test_natural_alignment_offsets(self):
+        s = StructType("s", [("a", I8), ("b", I32), ("c", I8)])
+        assert s.offset_of(0) == 0
+        assert s.offset_of(1) == 4
+        assert s.offset_of(2) == 8
+        assert s.size == 12  # tail-padded to 4
+
+    def test_field_lookup(self):
+        s = StructType("s", [("x", I32), ("y", I8)])
+        assert s.field_index("y") == 1
+        assert s.field_type(0) == I32
+        with pytest.raises(KeyError):
+            s.field_index("z")
+
+    def test_empty_struct(self):
+        s = StructType("empty", [])
+        assert s.size == 0
+        assert s.alignment == 1
+
+    def test_named_equality(self):
+        a = StructType("s", [("x", I32)])
+        b = StructType("s", [("y", I8)])
+        assert a == b  # named structs compare by name
+
+
+class TestFunctionType:
+    def test_key_includes_variadic(self):
+        a = FunctionType(VOID, [I32])
+        b = FunctionType(VOID, [I32], variadic=True)
+        assert a != b
+
+    def test_str(self):
+        f = FunctionType(I32, [I8, ptr(I32)])
+        assert str(f) == "i32 (i8, i32*)"
+
+    def test_size_zero(self):
+        assert FunctionType(VOID, []).size == 0
+
+
+class TestVoid:
+    def test_void(self):
+        assert VOID.size == 0
+        assert isinstance(VOID, VoidType)
+        assert not VOID.is_scalar

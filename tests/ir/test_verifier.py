@@ -1,0 +1,135 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+import repro.ir as ir
+from repro.ir import I8, I32, VOID, VerificationError, verify_module
+from repro.ir.instructions import Jump, Ret, Store
+from repro.ir.values import Constant
+
+
+def test_valid_module_passes(mini_module):
+    verify_module(mini_module)
+
+
+def test_missing_terminator():
+    module = ir.Module("m")
+    func, b = ir.define(module, "f", VOID, [])
+    b.alloca(I32)
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify_module(module)
+
+
+def test_terminator_not_last():
+    module = ir.Module("m")
+    func, b = ir.define(module, "f", VOID, [])
+    block = func.entry_block
+    ret = Ret(None)
+    ret.parent = block
+    block.instructions.append(ret)
+    extra = ir.Alloca(I32)
+    extra.parent = block
+    block.instructions.append(extra)  # bypasses the append() guard
+    block.instructions.append(Ret(None))
+    with pytest.raises(VerificationError, match="not last"):
+        verify_module(module)
+
+
+def test_store_type_mismatch():
+    module = ir.Module("m")
+    _func, b = ir.define(module, "f", VOID, [])
+    slot = b.alloca(I8)
+    block = b.block
+    bad = Store(Constant(1, I32), slot)
+    bad.parent = block
+    block.instructions.append(bad)
+    b.ret_void()
+    with pytest.raises(VerificationError, match="store type mismatch"):
+        verify_module(module)
+
+
+def test_call_arity_mismatch():
+    module = ir.Module("m")
+    callee, cb = ir.define(module, "callee", VOID, [I32])
+    cb.ret_void()
+    _func, b = ir.define(module, "f", VOID, [])
+    from repro.ir.instructions import Call
+
+    bad = Call(callee, [])
+    bad.parent = b.block
+    b.block.instructions.append(bad)
+    b.ret_void()
+    with pytest.raises(VerificationError, match="expected 1"):
+        verify_module(module)
+
+
+def test_ret_value_from_void_function():
+    module = ir.Module("m")
+    _func, b = ir.define(module, "f", VOID, [])
+    block = b.block
+    block.instructions.append(Ret(Constant(1)))
+    with pytest.raises(VerificationError, match="ret value from void"):
+        verify_module(module)
+
+
+def test_ret_void_from_int_function():
+    module = ir.Module("m")
+    _func, b = ir.define(module, "f", I32, [])
+    b.ret_void()
+    with pytest.raises(VerificationError, match="ret void"):
+        verify_module(module)
+
+
+def test_dominance_violation():
+    module = ir.Module("m")
+    func, b = ir.define(module, "f", I32, [])
+    then_block = b.add_block("then")
+    merge = b.add_block("merge")
+    b.br(b.icmp("eq", 1, 1), then_block, merge)
+    b.position_at_end(then_block)
+    defined_in_then = b.add(1, 2)
+    b.jump(merge)
+    b.position_at_end(merge)
+    # `defined_in_then` does not dominate merge (entry can skip it).
+    b.halt(defined_in_then)
+    with pytest.raises(VerificationError, match="not dominated"):
+        verify_module(module)
+
+
+def test_value_defined_earlier_in_loop_is_dominated():
+    module = ir.Module("m")
+    _func, b = ir.define(module, "f", I32, [])
+    i = b.alloca(I32)
+    b.store(0, i)
+    with b.while_loop(lambda: b.icmp("slt", b.load(i), 3)):
+        v = b.add(b.load(i), 1)
+        b.store(v, i)
+    b.halt(b.load(i))
+    verify_module(module)
+
+
+def test_branch_condition_must_be_integer():
+    module = ir.Module("m")
+    func, b = ir.define(module, "f", VOID, [])
+    other = b.add_block("o")
+    slot = b.alloca(I32)  # pointer-typed value
+    from repro.ir.instructions import Br
+
+    bad = Br(slot, other, other)
+    bad.parent = b.block
+    b.block.instructions.append(bad)
+    b.position_at_end(other)
+    b.ret_void()
+    with pytest.raises(VerificationError, match="condition"):
+        verify_module(module)
+
+
+def test_errors_are_collected_not_first_only():
+    module = ir.Module("m")
+    _f1, b1 = ir.define(module, "f1", VOID, [])
+    b1.alloca(I32)  # missing terminator
+    _f2, b2 = ir.define(module, "f2", I32, [])
+    b2.ret_void()  # wrong ret
+    with pytest.raises(VerificationError) as excinfo:
+        verify_module(module)
+    assert len(excinfo.value.errors) >= 2

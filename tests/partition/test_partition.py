@@ -1,0 +1,173 @@
+"""Unit tests for operation partitioning and policy generation."""
+
+import pytest
+
+import repro.ir as ir
+from repro.analysis import ResourceAnalysis, build_call_graph
+from repro.hw import Peripheral, stm32f4_discovery
+from repro.ir import I32, VOID, FunctionType
+from repro.partition import (
+    OperationSpec,
+    PartitionError,
+    build_policy,
+    merge_peripheral_windows,
+    partition_operations,
+)
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+
+def _partition(module, specs):
+    board = stm32f4_discovery()
+    graph = build_call_graph(module)
+    resources = ResourceAnalysis(module, board, graph.andersen)
+    return partition_operations(module, graph, specs, resources)
+
+
+class TestPartition:
+    def test_main_is_default_operation_first(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        assert ops[0].is_default
+        assert ops[0].entry.name == "main"
+        assert len(ops) == 3
+
+    def test_entries_excluded_from_other_operations(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        main_op = ops[0]
+        names = {f.name for f in main_op.functions}
+        assert names == {"main"}  # task subtrees belong to their ops
+
+    def test_shared_functions_in_both_operations(self):
+        module = ir.Module("m")
+        helper, hb = ir.define(module, "helper", VOID, [])
+        hb.ret_void()
+        for name in ("task_a", "task_b"):
+            _t, tb = ir.define(module, name, VOID, [])
+            tb.call(helper)
+            tb.ret_void()
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.call(module.get_function("task_a"))
+        mb.call(module.get_function("task_b"))
+        mb.halt(0)
+        ops = _partition(module, [OperationSpec("task_a"),
+                                  OperationSpec("task_b")])
+        by_name = {op.name: op for op in ops}
+        assert helper in by_name["task_a"].functions
+        assert helper in by_name["task_b"].functions
+
+    def test_recursion_grouped_into_one_operation(self):
+        module = ir.Module("m")
+        rec, rb = ir.define(module, "rec", I32, [I32])
+        n = rec.params[0]
+        with rb.if_then(rb.icmp("ugt", n, 0)):
+            rb.ret(rb.call(rec, rb.sub(n, 1)))
+        rb.ret(0)
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.halt(mb.call(rec, 3))
+        ops = _partition(module, [OperationSpec("rec")])
+        rec_op = next(op for op in ops if op.name == "rec")
+        assert rec_op.functions == {rec}
+
+    def test_variadic_entry_rejected(self):
+        module = ir.Module("m")
+        va = ir.Function("va", FunctionType(VOID, [I32], variadic=True))
+        module.add_function(va)
+        ir.IRBuilder(va).ret_void()
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.halt(0)
+        with pytest.raises(PartitionError, match="variable-length"):
+            _partition(module, [OperationSpec("va")])
+
+    def test_interrupt_handler_entry_rejected(self):
+        module = ir.Module("m")
+        irq, ib = ir.define(module, "USART2_IRQHandler", VOID, [],
+                            is_interrupt_handler=True)
+        ib.ret_void()
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.halt(0)
+        with pytest.raises(PartitionError, match="interrupt"):
+            _partition(module, [OperationSpec("USART2_IRQHandler")])
+
+    def test_main_cannot_be_listed_entry(self, mini_module):
+        with pytest.raises(PartitionError, match="default"):
+            _partition(mini_module, [OperationSpec("main")])
+
+    def test_duplicate_entries_rejected(self, mini_module):
+        with pytest.raises(PartitionError, match="duplicate"):
+            _partition(mini_module, [OperationSpec("task_a"),
+                                     OperationSpec("task_a")])
+
+    def test_stack_info_carried_onto_operation(self):
+        module = build_mini_module()
+        ops = _partition(module, [
+            OperationSpec("task_a", stack_info={0: 16}),
+            OperationSpec("task_b"),
+        ])
+        by_name = {op.name: op for op in ops}
+        assert by_name["task_a"].stack_info == {0: 16}
+
+
+class TestPeripheralWindows:
+    def _p(self, name, base, size=0x400):
+        return Peripheral(name, base, size)
+
+    def test_adjacent_merged(self):
+        a = self._p("GPIOA", 0x40020000)
+        b = self._p("GPIOB", 0x40020400)
+        windows = merge_peripheral_windows([b, a])
+        assert len(windows) == 1
+        assert windows[0].base == 0x40020000
+        assert windows[0].size == 0x800
+        assert windows[0].peripherals == (a, b)
+
+    def test_gap_not_merged(self):
+        a = self._p("TIM2", 0x40000000)
+        b = self._p("RCC", 0x40023800)
+        windows = merge_peripheral_windows([a, b])
+        assert len(windows) == 2
+
+    def test_empty(self):
+        assert merge_peripheral_windows([]) == []
+
+
+class TestPolicy:
+    def test_classification(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        policy = build_policy(mini_module, ops)
+        by_name = {g.name: policy.placements[g]
+                   for g in mini_module.writable_globals()}
+        assert by_name["counter"].is_external       # main, task_a, task_b
+        assert by_name["secret"].is_internal        # task_a only
+        assert by_name["blob"].is_internal          # task_b only
+
+    def test_section_vars_internal_plus_shadows(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        policy = build_policy(mini_module, ops)
+        task_a = policy.operation_by_entry("task_a")
+        names = {g.name for g in policy.section_vars(task_a)}
+        assert names == {"secret", "counter"}
+
+    def test_section_size_word_padded(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        policy = build_policy(mini_module, ops)
+        task_b = policy.operation_by_entry("task_b")
+        # blob (32) + counter shadow (4)
+        assert policy.section_size(task_b) == 36
+
+    def test_default_operation_accessor(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        policy = build_policy(mini_module, ops)
+        assert policy.default_operation.entry.name == "main"
+
+    def test_unknown_entry_raises(self, mini_module):
+        ops = _partition(mini_module, MINI_SPECS)
+        policy = build_policy(mini_module, ops)
+        with pytest.raises(KeyError):
+            policy.operation_by_entry("nope")
+
+    def test_public_only_vars(self):
+        module = build_mini_module()
+        module.add_global("orphan", I32, 0)
+        ops = _partition(module, MINI_SPECS)
+        policy = build_policy(module, ops)
+        assert {g.name for g in policy.public_only_vars()} == {"orphan"}

@@ -1,0 +1,103 @@
+"""Property-based tests: interpreter arithmetic vs a Python oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+import repro.ir as ir
+from repro.hw import Machine, stm32f4_discovery
+from repro.image import build_vanilla_image
+from repro.interp import Interpreter
+from repro.ir import I32
+
+WORD = 0xFFFFFFFF
+u32 = st.integers(min_value=0, max_value=WORD)
+
+
+def _signed(x):
+    return (x & 0x7FFFFFFF) - (x & 0x80000000)
+
+
+def oracle(op, a, b):
+    if op == "add":
+        return (a + b) & WORD
+    if op == "sub":
+        return (a - b) & WORD
+    if op == "mul":
+        return (a * b) & WORD
+    if op == "udiv":
+        return (a // b) & WORD if b else 0
+    if op == "sdiv":
+        sa, sb = _signed(a), _signed(b)
+        return int(sa / sb) & WORD if sb else 0
+    if op == "urem":
+        return (a % b) & WORD if b else 0
+    if op == "srem":
+        sa, sb = _signed(a), _signed(b)
+        return (sa - int(sa / sb) * sb) & WORD if sb else 0
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b & 31)) & WORD
+    if op == "lshr":
+        return (a >> (b & 31)) & WORD
+    if op == "ashr":
+        return (_signed(a) >> (b & 31)) & WORD
+    raise AssertionError(op)
+
+
+def cmp_oracle(pred, a, b):
+    sa, sb = _signed(a), _signed(b)
+    return {
+        "eq": a == b, "ne": a != b,
+        "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b,
+        "slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb,
+    }[pred]
+
+
+def run_expr(build):
+    module = ir.Module("m")
+    _f, b = ir.define(module, "main", I32, [])
+    b.halt(build(b))
+    board = stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+    machine = Machine(board)
+    image.initialize_memory(machine)
+    return Interpreter(machine, image).run()
+
+
+@given(op=st.sampled_from(ir.BINARY_OPS), a=u32, b=u32)
+@settings(max_examples=400, deadline=None)
+def test_binop_matches_oracle(op, a, b):
+    assert run_expr(lambda bb: bb.binop(op, a, b)) == oracle(op, a, b)
+
+
+@given(pred=st.sampled_from(ir.ICMP_PREDICATES), a=u32, b=u32)
+@settings(max_examples=300, deadline=None)
+def test_icmp_matches_oracle(pred, a, b):
+    result = run_expr(lambda bb: bb.icmp(pred, a, b))
+    assert result == int(cmp_oracle(pred, a, b))
+
+
+@given(value=u32)
+@settings(max_examples=100, deadline=None)
+def test_store_load_roundtrip(value):
+    def build(b):
+        slot = b.alloca(I32)
+        b.store(b.const(value), slot)
+        return b.load(slot)
+
+    assert run_expr(build) == value
+
+
+@given(value=st.integers(min_value=0, max_value=0xFF))
+@settings(max_examples=50, deadline=None)
+def test_sext_trunc_roundtrip(value):
+    def build(b):
+        truncated = b.trunc(b.const(value), ir.I8)
+        return b.cast("sext", truncated, I32)
+
+    expected = (value - 0x100 if value & 0x80 else value) & WORD
+    assert run_expr(build) == expected

@@ -1,0 +1,52 @@
+"""Property-based round-trip tests for the OPEC-IR text format."""
+
+from hypothesis import given, settings, strategies as st
+
+import repro.ir as ir
+from repro.ir import parse_module, print_module, verify_module
+
+from .test_layout_and_sync_properties import firmware
+
+
+@given(firmware())
+@settings(max_examples=30, deadline=None)
+def test_random_firmware_round_trips_textually(fw):
+    module, _specs = fw
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    assert print_module(parsed) == text
+
+
+@given(firmware())
+@settings(max_examples=20, deadline=None)
+def test_random_firmware_round_trips_semantically(fw):
+    from repro.hw import Machine, stm32f4_discovery
+    from repro.image import build_vanilla_image
+    from repro.interp import Interpreter
+
+    module, _specs = fw
+
+    def run(mod):
+        board = stm32f4_discovery()
+        image = build_vanilla_image(mod, board)
+        machine = Machine(board)
+        image.initialize_memory(machine)
+        return Interpreter(machine, image).run()
+
+    original = run(module)
+    parsed = parse_module(print_module(module))
+    assert run(parsed) == original
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+       st.sampled_from([ir.I8, ir.I16, ir.I32]))
+@settings(max_examples=50, deadline=None)
+def test_scalar_global_initializer_round_trips(value, int_type):
+    module = ir.Module("g")
+    module.add_global("g", int_type, value)
+    _m, b = ir.define(module, "main", ir.I32, [])
+    b.halt(0)
+    parsed = parse_module(print_module(module))
+    assert parsed.get_global("g").encode_initializer() == \
+        module.get_global("g").encode_initializer()
