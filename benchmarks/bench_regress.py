@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Interpreter performance regression harness.
+
+Runs two fixed workloads and emits ``BENCH_interp.json`` so future
+changes have a perf trajectory to compare against:
+
+* ``vanilla_throughput`` — a tight arithmetic/memory loop on the bare
+  interpreter (the substrate's instructions-per-second);
+* ``pinlock_opec`` — the PinLock application under full OPEC
+  enforcement (operation switches, MPU faults, SysTick, core-peripheral
+  emulation) — the end-to-end hot path.
+
+For each workload the report records host wall-clock seconds *and* the
+simulated quantities (``cycles``, instructions, ``MachineStats``).
+Wall-clock is the number optimisations may move; the simulated numbers
+are the determinism contract — they must never change (see DESIGN.md,
+"Performance & determinism").
+
+Usage:  PYTHONPATH=src python benchmarks/bench_regress.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import repro.ir as ir  # noqa: E402
+from repro import build_opec, run_image  # noqa: E402
+from repro.hw import Machine, stm32f4_discovery  # noqa: E402
+from repro.image import build_vanilla_image  # noqa: E402
+from repro.interp import Interpreter  # noqa: E402
+from repro.ir import I32  # noqa: E402
+
+
+def _throughput_module(iterations: int = 100_000):
+    module = ir.Module("throughput")
+    _m, b = ir.define(module, "main", I32, [])
+    acc = b.alloca(I32)
+    b.store(0, acc)
+    with b.for_range(0, iterations) as load_i:
+        b.store(b.add(b.load(acc), load_i()), acc)
+    b.halt(b.load(acc))
+    return module
+
+
+def bench_vanilla_throughput() -> dict:
+    board = stm32f4_discovery()
+    image = build_vanilla_image(_throughput_module(), board)
+    machine = Machine(board)
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image, max_instructions=10_000_000)
+    start = time.perf_counter()
+    interp.run()
+    wall = time.perf_counter() - start
+    return {
+        "wall_clock_s": round(wall, 4),
+        "instructions": interp.instructions_executed,
+        "cycles": machine.cycles,
+        "stats": asdict(machine.stats),
+        "insts_per_s": round(interp.instructions_executed / wall),
+    }
+
+
+def bench_pinlock_opec() -> dict:
+    from repro.apps import pinlock
+
+    app = pinlock.build(rounds=2)
+    artifacts = build_opec(app.module, app.board, app.specs)
+    start = time.perf_counter()
+    result = run_image(artifacts.image, setup=app.setup,
+                       max_instructions=app.max_instructions)
+    wall = time.perf_counter() - start
+    app.verify_run(result.machine, result.halt_code)
+    return {
+        "wall_clock_s": round(wall, 4),
+        "halt_code": result.halt_code,
+        "cycles": result.machine.cycles,
+        "switches": result.hooks.switch_count,
+        "stats": asdict(result.machine.stats),
+    }
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_interp.json"
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {
+            "vanilla_throughput": bench_vanilla_throughput(),
+            "pinlock_opec": bench_pinlock_opec(),
+        },
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

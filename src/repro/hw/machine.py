@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from .board import Board
+from .board import Board, PPB_BASE as _PPB_BASE, PPB_END as _PPB_END
 from .exceptions import BusFault, MemManageFault
 from .memory import FlashRegion, MemoryMap, MMIODevice, MMIORegion, RamRegion
 from .mpu import MPU
@@ -144,13 +144,25 @@ class Machine:
     def load(self, address: int, size: int) -> int:
         """A data read issued by executing code (MPU/PPB-checked)."""
         self.stats.loads += 1
-        self._check(address, size, write=False)
+        privileged = self.privileged
+        if not privileged and _PPB_BASE <= address < _PPB_END:
+            self.stats.bus_faults += 1
+            raise BusFault(address, size, False, value=0, is_ppb=True)
+        if not self.mpu.allows(address, size, privileged, False):
+            self.stats.memmanage_faults += 1
+            raise MemManageFault(address, size, False, value=0)
         return self.memory.read(address, size)
 
     def store(self, address: int, size: int, value: int) -> None:
         """A data write issued by executing code (MPU/PPB-checked)."""
         self.stats.stores += 1
-        self._check(address, size, write=True, value=value)
+        privileged = self.privileged
+        if not privileged and _PPB_BASE <= address < _PPB_END:
+            self.stats.bus_faults += 1
+            raise BusFault(address, size, True, value=value, is_ppb=True)
+        if not self.mpu.allows(address, size, privileged, True):
+            self.stats.memmanage_faults += 1
+            raise MemManageFault(address, size, True, value=value)
         self.memory.write(address, size, value)
 
     def _check(self, address: int, size: int, write: bool, value: int = 0) -> None:

@@ -134,15 +134,26 @@ class MemoryMap:
         return region
 
     def read(self, address: int, size: int) -> int:
-        region = self.region_for(address)
-        if address + size > region.end:
-            raise HardFault(f"access crosses region end at 0x{address:08X}")
+        # Last-region fast path: the common SRAM access skips the scan.
+        region = self._cache
+        if (region is None or address < region.base
+                or address + size > region.end):
+            region = self.region_for(address)
+            if address + size > region.end:
+                raise HardFault(
+                    f"access crosses region end at 0x{address:08X}"
+                )
         return region.read(address, size)
 
     def write(self, address: int, size: int, value: int) -> None:
-        region = self.region_for(address)
-        if address + size > region.end:
-            raise HardFault(f"access crosses region end at 0x{address:08X}")
+        region = self._cache
+        if (region is None or address < region.base
+                or address + size > region.end):
+            region = self.region_for(address)
+            if address + size > region.end:
+                raise HardFault(
+                    f"access crosses region end at 0x{address:08X}"
+                )
         region.write(address, size, value)
 
     def read_bytes(self, address: int, length: int) -> bytes:

@@ -110,19 +110,43 @@ class MPURegion:
 
 @dataclass
 class MPU:
-    """The MPU: eight region slots plus the control register bits."""
+    """The MPU: eight region slots plus the control register bits.
+
+    Arbitration results are memoised in a decision cache.  Region
+    boundaries (base, end, every sub-region edge) all fall on multiples
+    of four bytes — the minimum region size is 32 and sub-regions are
+    an eighth of a power-of-two size — so the verdict for a probe byte
+    is constant across its aligned 4-byte word.  A decision is
+    therefore cached under ``(first-word, last-word, privileged,
+    write, privdefena)`` and stays valid until the region
+    configuration changes:
+    ``set_region`` / ``clear_region`` / ``load_configuration`` /
+    ``restore`` start a new configuration epoch and drop the cache.
+    ``privileged`` is part of the key, so privilege changes need no
+    invalidation; ``enabled`` is re-checked on every call before the
+    cache is consulted.
+    """
 
     enabled: bool = False
     privdefena: bool = True
     regions: list[Optional[MPURegion]] = field(
         default_factory=lambda: [None] * NUM_REGIONS
     )
+    epoch: int = field(default=0, repr=False, compare=False)
+    _decisions: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def invalidate(self) -> None:
+        """Start a new region-configuration epoch, dropping the cache."""
+        self.epoch += 1
+        self._decisions = {}
 
     def set_region(self, region: MPURegion) -> None:
         self.regions[region.number] = region
+        self.invalidate()
 
     def clear_region(self, number: int) -> None:
         self.regions[number] = None
+        self.invalidate()
 
     def get_region(self, number: int) -> Optional[MPURegion]:
         return self.regions[number]
@@ -131,7 +155,8 @@ class MPU:
         """Replace the full region set (operation switch, §5.3)."""
         self.regions = [None] * NUM_REGIONS
         for region in regions:
-            self.set_region(region)
+            self.regions[region.number] = region
+        self.invalidate()
 
     def matching_region(self, address: int) -> Optional[MPURegion]:
         """Highest-numbered enabled region claiming ``address``."""
@@ -149,7 +174,19 @@ class MPU:
         """
         if not self.enabled:
             return True
-        for probe in {address, address + size - 1}:
+        key = (address >> 2, (address + size - 1) >> 2, privileged, write,
+               self.privdefena)
+        verdict = self._decisions.get(key)
+        if verdict is None:
+            verdict = self._arbitrate(address, size, privileged, write)
+            self._decisions[key] = verdict
+        return verdict
+
+    def _arbitrate(self, address: int, size: int, privileged: bool,
+                   write: bool) -> bool:
+        """The uncached §2.2 arbitration (first and last probe byte)."""
+        last = address + size - 1
+        for probe in (address, last) if last != address else (address,):
             region = self.matching_region(probe)
             if region is None:
                 if privileged and self.privdefena:
@@ -165,3 +202,4 @@ class MPU:
 
     def restore(self, snapshot: list[Optional[MPURegion]]) -> None:
         self.regions = list(snapshot)
+        self.invalidate()

@@ -12,6 +12,17 @@ Faults raised mid-instruction are routed to the build's
 the instruction is retried when the handler fixed things up — the same
 fault-driven control flow the paper's monitor uses for MPU-region
 virtualisation and core-peripheral emulation (§5.2).
+
+Dispatch is table-driven: each instruction object caches its bound
+handler and precomputed cycle cost in ``_hot`` on first execution, so
+the per-step work is one dict-free tuple unpack instead of an
+isinstance chain plus a cost lookup.  Loads and stores attempt the
+machine access directly and only enter the closure-building
+fault-retry loop after a fault has actually been raised; the common
+path allocates nothing.  None of this changes *what* is charged — the
+DWT cycle counter and every :class:`~repro.hw.machine.MachineStats`
+counter stay bit-identical to the reference semantics (see DESIGN.md,
+"Performance & determinism").
 """
 
 from __future__ import annotations
@@ -60,6 +71,7 @@ from .hooks import RuntimeHooks
 
 _WORD = 0xFFFFFFFF
 _MAX_FAULT_RETRIES = 16
+_DIV_OPS = ("udiv", "sdiv", "urem", "srem")
 
 
 class ExecutionLimitExceeded(HardFault):
@@ -69,6 +81,17 @@ class ExecutionLimitExceeded(HardFault):
 def _to_signed(value: int, bits: int) -> int:
     sign = 1 << (bits - 1)
     return (value & (sign - 1)) - (value & sign)
+
+
+def _trunc_div(sa: int, sb: int) -> int:
+    """C-style (truncating) signed division, exact by construction.
+
+    Python's ``//`` floors; hardware ``sdiv`` truncates toward zero.
+    Going through ``abs`` keeps the arithmetic pure-integer — no float
+    round-trip that loses precision past 53 bits.
+    """
+    q = abs(sa) // abs(sb)
+    return q if (sa < 0) == (sb < 0) else -q
 
 
 @dataclass
@@ -157,18 +180,24 @@ class Interpreter:
         if machine.pending_irqs and self._irq_depth == 0:
             self._dispatch_irq(machine.pending_irqs.pop(0))
         frame = self.frames[-1]
-        if frame.index >= len(frame.block.instructions):
+        instructions = frame.block.instructions
+        index = frame.index
+        if index >= len(instructions):
             raise HardFault(
                 f"fell off block {frame.block.name} in @{frame.function.name}"
             )
-        inst = frame.block.instructions[frame.index]
+        inst = instructions[index]
         self.instructions_executed += 1
         if self.instructions_executed > self.max_instructions:
             raise ExecutionLimitExceeded(
                 f"instruction budget exceeded in @{frame.function.name}"
             )
-        self._charge(inst)
-        self._execute(frame, inst)
+        try:
+            handler, cost = inst._hot
+        except AttributeError:
+            handler, cost = _bind_hot(inst)
+        machine.consume(cost)
+        handler(self, frame, inst)
 
     def _dispatch_irq(self, number: int) -> None:
         """Exception entry: run a handler at the privileged level.
@@ -194,15 +223,38 @@ class Interpreter:
 
     def _charge(self, inst: Instruction) -> None:
         cost = INSTRUCTION_COSTS.get(inst.opcode, DEFAULT_COST)
-        if isinstance(inst, BinOp) and inst.op in ("udiv", "sdiv", "urem", "srem"):
+        if isinstance(inst, BinOp) and inst.op in _DIV_OPS:
             cost = DIV_COST
         self.machine.consume(cost)
 
     # -- operand evaluation --------------------------------------------
 
     def eval(self, frame: Frame, value: Value) -> int:
+        # Virtual registers (instruction results / parameters) dominate
+        # operand traffic: try the frame's register file first.
+        reg = frame.regs.get(value)
+        if reg is not None:
+            return reg
+        cls = value.__class__
+        if cls is Constant:
+            # Masked defensively: a transformation pass that folds a
+            # constant in place may leave a negative Python int behind;
+            # it must not escape into addresses or shift amounts.
+            return value.value & value.type.mask
+        if cls is ConstantPointer:
+            return value.address
+        if cls is ConstantNull:
+            return 0
+        if cls is GlobalVariable:
+            return self.hooks.global_address(self, value) & _WORD
+        if cls is Function:
+            return self.image.function_address(value)
+        return self._eval_slow(frame, value)
+
+    def _eval_slow(self, frame: Frame, value: Value) -> int:
+        """Subclasses and error reporting, off the hot path."""
         if isinstance(value, Constant):
-            return value.value
+            return value.value & value.type.mask
         if isinstance(value, ConstantPointer):
             return value.address
         if isinstance(value, ConstantNull):
@@ -212,31 +264,38 @@ class Interpreter:
         if isinstance(value, Function):
             return self.image.function_address(value)
         if isinstance(value, (Parameter, Instruction)):
-            try:
-                return frame.regs[value]
-            except KeyError:
-                raise HardFault(
-                    f"use of undefined value {value.short()} in "
-                    f"@{frame.function.name}"
-                ) from None
+            raise HardFault(
+                f"use of undefined value {value.short()} in "
+                f"@{frame.function.name}"
+            )
         raise HardFault(f"unsupported operand {value!r}")
 
     # -- faulting memory access with handler retry ------------------------
 
     def _access(self, operation: Callable[[], Optional[int]]) -> Optional[int]:
+        try:
+            return operation()
+        except (MemManageFault, BusFault) as fault:
+            return self._retry_access(operation, fault)
+
+    def _retry_access(self, operation: Callable[[], Optional[int]],
+                      fault: Exception) -> Optional[int]:
+        """Consult the monitor about ``fault``, then retry ``operation``.
+
+        Entered only after an access has actually faulted; the common
+        (allowed) access path never builds the retry closure.
+        """
         for _ in range(_MAX_FAULT_RETRIES):
-            try:
-                return operation()
-            except MemManageFault as fault:
+            if isinstance(fault, MemManageFault):
                 with self.machine.privileged_mode():
                     handled = self.hooks.handle_memmanage(self, fault)
                 if handled is False or handled is None:
-                    raise
+                    raise fault
                 if handled is not True:
                     # ("emulated", value): the handler performed the
                     # access itself (ACES' micro-emulator, §5.2).
                     return handled[1]
-            except BusFault as fault:
+            else:
                 with self.machine.privileged_mode():
                     emulated = self.hooks.handle_busfault(self, fault)
                 if emulated is None:
@@ -244,114 +303,122 @@ class Interpreter:
                         f"unhandled BusFault at 0x{fault.address:08X}"
                     )
                 return emulated
+            try:
+                return operation()
+            except (MemManageFault, BusFault) as next_fault:
+                fault = next_fault
         raise HardFault("fault retry limit exceeded (handler loop)")
 
     # -- instruction dispatch ----------------------------------------------
 
     def _execute(self, frame: Frame, inst: Instruction) -> None:
-        if isinstance(inst, Alloca):
-            size = inst.byte_size
-            self.sp = (self.sp - size) & ~0x3
-            if self.sp < self.image.stack_limit:
-                raise HardFault(
-                    f"stack overflow in @{frame.function.name} "
-                    f"(sp=0x{self.sp:08X})"
-                )
-            frame.regs[inst] = self.sp
-            frame.index += 1
-            return
+        try:
+            handler = inst._hot[0]
+        except AttributeError:
+            handler = _bind_hot(inst)[0]
+        handler(self, frame, inst)
 
-        if isinstance(inst, Load):
-            address = self.eval(frame, inst.pointer)
-            size = inst.type.size
-            value = self._access(lambda: self.machine.load(address, size))
-            frame.regs[inst] = value & ((1 << (size * 8)) - 1)
-            frame.index += 1
-            return
+    # -- per-instruction handlers ------------------------------------------
 
-        if isinstance(inst, Store):
-            address = self.eval(frame, inst.pointer)
-            value = self.eval(frame, inst.value)
-            size = inst.value.type.size
-            self._access(lambda: self.machine.store(address, size, value) or 0)
-            frame.index += 1
-            return
-
-        if isinstance(inst, GEP):
-            frame.regs[inst] = self._compute_gep(frame, inst)
-            frame.index += 1
-            return
-
-        if isinstance(inst, BinOp):
-            frame.regs[inst] = self._compute_binop(frame, inst)
-            frame.index += 1
-            return
-
-        if isinstance(inst, ICmp):
-            frame.regs[inst] = self._compute_icmp(frame, inst)
-            frame.index += 1
-            return
-
-        if isinstance(inst, Cast):
-            frame.regs[inst] = self._compute_cast(frame, inst)
-            frame.index += 1
-            return
-
-        if isinstance(inst, Select):
-            cond = self.eval(frame, inst.operands[0])
-            chosen = inst.operands[1] if cond else inst.operands[2]
-            frame.regs[inst] = self.eval(frame, chosen)
-            frame.index += 1
-            return
-
-        if isinstance(inst, Call):
-            self._do_call(frame, inst, inst.callee,
-                          [self.eval(frame, a) for a in inst.operands])
-            return
-
-        if isinstance(inst, ICall):
-            address = self.eval(frame, inst.target)
-            callee = self.image.function_at(address)
-            if callee is None:
-                raise HardFault(f"icall to non-function address 0x{address:08X}")
-            self._do_call(frame, inst,
-                          callee, [self.eval(frame, a) for a in inst.args])
-            return
-
-        if isinstance(inst, SVC):
-            self.machine.stats.svc_calls += 1
-            handler = getattr(self.hooks, "on_svc", None)
-            if handler is not None:
-                with self.machine.privileged_mode():
-                    handler(self, inst.number, inst.payload)
-            frame.index += 1
-            return
-
-        if isinstance(inst, Br):
-            cond = self.eval(frame, inst.operands[0])
-            frame.block = inst.then_block if cond else inst.else_block
-            frame.index = 0
-            return
-
-        if isinstance(inst, Jump):
-            frame.block = inst.target
-            frame.index = 0
-            return
-
-        if isinstance(inst, Ret):
-            self._do_return(frame, inst)
-            return
-
-        if isinstance(inst, Halt):
-            code = self.eval(frame, inst.operands[0])
-            self.hooks.on_halt(self, code)
-            raise MachineHalt(code)
-
-        if isinstance(inst, Unreachable):
+    def _exec_alloca(self, frame: Frame, inst: Alloca) -> None:
+        self.sp = (self.sp - inst._hot_size) & ~0x3
+        if self.sp < self.image.stack_limit:
             raise HardFault(
-                f"unreachable executed in @{frame.function.name}"
+                f"stack overflow in @{frame.function.name} "
+                f"(sp=0x{self.sp:08X})"
             )
+        frame.regs[inst] = self.sp
+        frame.index += 1
 
+    def _exec_load(self, frame: Frame, inst: Load) -> None:
+        address = self.eval(frame, inst.pointer)
+        size = inst._hot_size
+        machine = self.machine
+        try:
+            value = machine.load(address, size)
+        except (MemManageFault, BusFault) as fault:
+            value = self._retry_access(
+                lambda: machine.load(address, size), fault)
+        frame.regs[inst] = value & inst._hot_mask
+        frame.index += 1
+
+    def _exec_store(self, frame: Frame, inst: Store) -> None:
+        address = self.eval(frame, inst.pointer)
+        value = self.eval(frame, inst.value)
+        size = inst._hot_size
+        machine = self.machine
+        try:
+            machine.store(address, size, value)
+        except (MemManageFault, BusFault) as fault:
+            self._retry_access(
+                lambda: machine.store(address, size, value) or 0, fault)
+        frame.index += 1
+
+    def _exec_gep(self, frame: Frame, inst: GEP) -> None:
+        frame.regs[inst] = self._compute_gep(frame, inst)
+        frame.index += 1
+
+    def _exec_binop(self, frame: Frame, inst: BinOp) -> None:
+        frame.regs[inst] = self._compute_binop(frame, inst)
+        frame.index += 1
+
+    def _exec_icmp(self, frame: Frame, inst: ICmp) -> None:
+        frame.regs[inst] = self._compute_icmp(frame, inst)
+        frame.index += 1
+
+    def _exec_cast(self, frame: Frame, inst: Cast) -> None:
+        frame.regs[inst] = self._compute_cast(frame, inst)
+        frame.index += 1
+
+    def _exec_select(self, frame: Frame, inst: Select) -> None:
+        cond = self.eval(frame, inst.operands[0])
+        chosen = inst.operands[1] if cond else inst.operands[2]
+        frame.regs[inst] = self.eval(frame, chosen)
+        frame.index += 1
+
+    def _exec_call(self, frame: Frame, inst: Call) -> None:
+        self._do_call(frame, inst, inst.callee,
+                      [self.eval(frame, a) for a in inst.operands])
+
+    def _exec_icall(self, frame: Frame, inst: ICall) -> None:
+        address = self.eval(frame, inst.target)
+        callee = self.image.function_at(address)
+        if callee is None:
+            raise HardFault(f"icall to non-function address 0x{address:08X}")
+        self._do_call(frame, inst,
+                      callee, [self.eval(frame, a) for a in inst.args])
+
+    def _exec_svc(self, frame: Frame, inst: SVC) -> None:
+        self.machine.stats.svc_calls += 1
+        handler = getattr(self.hooks, "on_svc", None)
+        if handler is not None:
+            with self.machine.privileged_mode():
+                handler(self, inst.number, inst.payload)
+        frame.index += 1
+
+    def _exec_br(self, frame: Frame, inst: Br) -> None:
+        cond = self.eval(frame, inst.operands[0])
+        frame.block = inst.then_block if cond else inst.else_block
+        frame.index = 0
+
+    def _exec_jump(self, frame: Frame, inst: Jump) -> None:
+        frame.block = inst.target
+        frame.index = 0
+
+    def _exec_ret(self, frame: Frame, inst: Ret) -> None:
+        self._do_return(frame, inst)
+
+    def _exec_halt(self, frame: Frame, inst: Halt) -> None:
+        code = self.eval(frame, inst.operands[0])
+        self.hooks.on_halt(self, code)
+        raise MachineHalt(code)
+
+    def _exec_unreachable(self, frame: Frame, inst: Unreachable) -> None:
+        raise HardFault(
+            f"unreachable executed in @{frame.function.name}"
+        )
+
+    def _exec_unknown(self, frame: Frame, inst: Instruction) -> None:
         raise HardFault(f"unknown instruction {inst.opcode}")
 
     # -- calls / returns ---------------------------------------------------
@@ -430,12 +497,12 @@ class Interpreter:
             return (a // b) & mask if b else 0
         if op == "sdiv":
             sa, sb = _to_signed(a, bits), _to_signed(b, bits)
-            return (int(sa / sb) & mask) if sb else 0
+            return (_trunc_div(sa, sb) & mask) if sb else 0
         if op == "urem":
             return (a % b) & mask if b else 0
         if op == "srem":
             sa, sb = _to_signed(a, bits), _to_signed(b, bits)
-            return (sa - int(sa / sb) * sb) & mask if sb else 0
+            return (sa - _trunc_div(sa, sb) * sb) & mask if sb else 0
         if op == "and":
             return a & b
         if op == "or":
@@ -494,3 +561,55 @@ class Interpreter:
 def _pad4(size: int) -> int:
     """Pointer strides for scalars stay exact; sub-word types keep size."""
     return size
+
+
+# -- dispatch table ---------------------------------------------------------
+#
+# One handler per instruction class.  ``_bind_hot`` resolves the handler
+# and the instruction's cycle cost once and caches both on the
+# instruction object (``_hot``); images are immutable after linking, so
+# the binding is valid for the instruction's lifetime and shared by
+# every interpreter executing the image.
+
+_HANDLERS: dict[type, Callable] = {
+    Alloca: Interpreter._exec_alloca,
+    Load: Interpreter._exec_load,
+    Store: Interpreter._exec_store,
+    GEP: Interpreter._exec_gep,
+    BinOp: Interpreter._exec_binop,
+    ICmp: Interpreter._exec_icmp,
+    Cast: Interpreter._exec_cast,
+    Select: Interpreter._exec_select,
+    Call: Interpreter._exec_call,
+    ICall: Interpreter._exec_icall,
+    SVC: Interpreter._exec_svc,
+    Br: Interpreter._exec_br,
+    Jump: Interpreter._exec_jump,
+    Ret: Interpreter._exec_ret,
+    Halt: Interpreter._exec_halt,
+    Unreachable: Interpreter._exec_unreachable,
+}
+
+
+def _bind_hot(inst: Instruction) -> tuple:
+    """Resolve and cache ``(handler, cycle_cost)`` for ``inst``."""
+    handler = None
+    for cls in type(inst).__mro__:
+        handler = _HANDLERS.get(cls)
+        if handler is not None:
+            break
+    if handler is None:
+        handler = Interpreter._exec_unknown
+    cost = INSTRUCTION_COSTS.get(inst.opcode, DEFAULT_COST)
+    if isinstance(inst, BinOp) and inst.op in _DIV_OPS:
+        cost = DIV_COST
+    if isinstance(inst, (Load, Alloca)):
+        size = inst.type.size if isinstance(inst, Load) else inst.byte_size
+        inst._hot_size = size
+        if isinstance(inst, Load):
+            inst._hot_mask = (1 << (size * 8)) - 1
+    elif isinstance(inst, Store):
+        inst._hot_size = inst.value.type.size
+    hot = (handler, cost)
+    inst._hot = hot
+    return hot

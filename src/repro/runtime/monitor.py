@@ -80,6 +80,18 @@ class OpecMonitor(RuntimeHooks):
     # -- address resolution through the relocation table -------------------
 
     def global_address(self, interp, gvar: GlobalVariable) -> int:
+        if interp is not None and interp._irq_depth > 0:
+            # Exception context (§4.3): handlers are never part of an
+            # operation and are not instrumented — they link against the
+            # public originals directly.  Resolving through the
+            # *suspended* operation's relocation table here would hand
+            # the handler that operation's shadow copy (stale, and not
+            # yet sanitised); it must also neither read nor pollute
+            # ``_addr_cache``, which holds the operation's view.
+            placement = self.policy.placements.get(gvar)
+            if placement is not None and placement.is_external:
+                return self.image.public_addresses[gvar]
+            return self.image.global_address(gvar)
         cached = self._addr_cache.get(gvar)
         if cached is not None:
             return cached

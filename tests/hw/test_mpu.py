@@ -117,6 +117,125 @@ class TestAccessSpan:
         assert not mpu.allows(0x2000003E, 4, privileged=False, write=True)
 
 
+class TestBoundarySemantics:
+    """Accesses that straddle sub-region / region edges (§2.2)."""
+
+    def setup_method(self):
+        # Region 0: whole SRAM page, read-only to unprivileged code.
+        # Region 3: a 0x100 window on top with RW, sub-region 1
+        # (0x20000020-0x2000003F) disabled.
+        self.mpu = MPU(enabled=True, privdefena=False)
+        self.mpu.set_region(MPURegion(
+            number=0, base=0x20000000, size=0x1000,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READ))
+        self.mpu.set_region(MPURegion(
+            number=3, base=0x20000000, size=0x100,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+            subregion_disable=0b00000010))
+
+    def test_access_straddling_disabled_subregion(self):
+        # Last word of sub-region 0 alone: RW via region 3.
+        assert self.mpu.allows(0x2000001C, 4, privileged=False, write=True)
+        # Straddle into the disabled sub-region: the tail byte falls
+        # through to read-only region 0, so the write must fault...
+        assert not self.mpu.allows(0x2000001E, 4, privileged=False,
+                                   write=True)
+        # ...while a read of the same span is fine at both ends.
+        assert self.mpu.allows(0x2000001E, 4, privileged=False, write=False)
+
+    def test_disabled_subregion_interior_uses_lower_region(self):
+        assert not self.mpu.allows(0x20000030, 4, privileged=False,
+                                   write=True)
+        assert self.mpu.allows(0x20000030, 4, privileged=False, write=False)
+
+    def test_disabled_subregion_with_no_lower_region(self):
+        mpu = MPU(enabled=True, privdefena=True)
+        mpu.set_region(MPURegion(
+            number=2, base=0x20000000, size=0x100,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+            subregion_disable=0b00000001))
+        # Nothing matches in the hole: privileged falls back to the
+        # default map (PRIVDEFENA), unprivileged faults.
+        assert mpu.allows(0x20000004, 4, privileged=True, write=True)
+        assert not mpu.allows(0x20000004, 4, privileged=False, write=False)
+        # With PRIVDEFENA clear even privileged code faults there.
+        mpu.privdefena = False
+        assert not mpu.allows(0x20000004, 4, privileged=True, write=True)
+
+    def test_straddle_out_of_privdefena_background(self):
+        mpu = MPU(enabled=True, privdefena=True)
+        mpu.set_region(MPURegion(
+            number=1, base=0x20000000, size=0x40,
+            priv=ACCESS_READ, unpriv=ACCESS_NONE))
+        # First byte in the RO region (write denied), last byte in the
+        # privileged background (allowed): the region's verdict rules.
+        assert not mpu.allows(0x2000003E, 4, privileged=True, write=True)
+        # Read: region grants RO, background grants everything.
+        assert mpu.allows(0x2000003E, 4, privileged=True, write=False)
+
+
+class TestDecisionCache:
+    """The memoised verdicts must track every configuration mutator."""
+
+    def _rw_region(self, number=0, unpriv=ACCESS_READWRITE):
+        return MPURegion(number=number, base=0x20000000, size=0x100,
+                         priv=ACCESS_READWRITE, unpriv=unpriv)
+
+    def test_set_region_invalidates(self):
+        mpu = MPU(enabled=True, privdefena=False)
+        mpu.set_region(self._rw_region())
+        assert mpu.allows(0x20000010, 4, privileged=False, write=True)
+        mpu.set_region(self._rw_region(unpriv=ACCESS_READ))
+        assert not mpu.allows(0x20000010, 4, privileged=False, write=True)
+
+    def test_clear_region_invalidates(self):
+        mpu = MPU(enabled=True, privdefena=False)
+        mpu.set_region(self._rw_region())
+        assert mpu.allows(0x20000010, 4, privileged=False, write=True)
+        mpu.clear_region(0)
+        assert not mpu.allows(0x20000010, 4, privileged=False, write=True)
+
+    def test_load_configuration_invalidates(self):
+        mpu = MPU(enabled=True, privdefena=False)
+        mpu.set_region(self._rw_region())
+        assert mpu.allows(0x20000010, 4, privileged=False, write=True)
+        mpu.load_configuration([self._rw_region(unpriv=ACCESS_NONE)])
+        assert not mpu.allows(0x20000010, 4, privileged=False, write=False)
+
+    def test_restore_invalidates(self):
+        mpu = MPU(enabled=True, privdefena=False)
+        mpu.set_region(self._rw_region(unpriv=ACCESS_READ))
+        snap = mpu.snapshot()
+        mpu.set_region(self._rw_region(unpriv=ACCESS_READWRITE))
+        assert mpu.allows(0x20000010, 4, privileged=False, write=True)
+        mpu.restore(snap)
+        assert not mpu.allows(0x20000010, 4, privileged=False, write=True)
+
+    def test_privdefena_flip_changes_verdict(self):
+        # privdefena is a plain attribute, not a mutator: it is part of
+        # the cache key instead of an epoch bump.
+        mpu = MPU(enabled=True, privdefena=True)
+        assert mpu.allows(0x40000000, 4, privileged=True, write=True)
+        mpu.privdefena = False
+        assert not mpu.allows(0x40000000, 4, privileged=True, write=True)
+
+    def test_cached_verdict_matches_arbitration(self):
+        mpu = MPU(enabled=True, privdefena=False)
+        mpu.set_region(MPURegion(
+            number=0, base=0x20000000, size=0x100,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READ,
+            subregion_disable=0b10000000))
+        probes = [(a, s, p, w)
+                  for a in range(0x20000000 - 8, 0x20000100 + 8, 2)
+                  for s in (1, 2, 4)
+                  for p in (False, True)
+                  for w in (False, True)]
+        for a, s, p, w in probes:
+            assert mpu.allows(a, s, p, w) == mpu._arbitrate(a, s, p, w)
+        for a, s, p, w in probes:  # second pass: all served from cache
+            assert mpu.allows(a, s, p, w) == mpu._arbitrate(a, s, p, w)
+
+
 class TestSnapshot:
     def test_snapshot_restore_roundtrip(self):
         mpu = MPU(enabled=True)

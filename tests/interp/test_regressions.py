@@ -1,0 +1,101 @@
+"""Regression tests for interpreter hot-path correctness bugs.
+
+Each test here pins a bug that once lived in the dispatch/eval path:
+
+* ``eval`` returning ``Constant.value`` unmasked, letting a negative
+  Python int escape into addresses and shift amounts;
+* ``sdiv``/``srem`` computed via float division (``int(sa / sb)``),
+  which silently loses precision past 53 bits of quotient.
+"""
+
+import pytest
+
+import repro.ir as ir
+from repro.hw import Machine, stm32f4_discovery
+from repro.image import build_vanilla_image
+from repro.interp import Interpreter
+from repro.interp.interpreter import Frame
+from repro.ir import I32
+from repro.ir.instructions import BinOp
+from repro.ir.types import IntType
+from repro.ir.values import Constant
+
+I64 = IntType(64)
+M64 = (1 << 64) - 1
+
+
+def make_interp():
+    """A minimal interpreter plus a frame to evaluate operands in."""
+    module = ir.Module("m")
+    func, b = ir.define(module, "main", I32, [])
+    b.halt(0)
+    board = stm32f4_discovery()
+    image = build_vanilla_image(module, board)
+    machine = Machine(board)
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image)
+    return interp, Frame(function=func, block=func.entry_block)
+
+
+class TestConstantMasking:
+    def test_constant_masked_at_construction(self):
+        assert Constant(-4).value == 0xFFFFFFFC
+
+    def test_folded_negative_constant_masked_at_eval(self):
+        """A pass folding a constant in place may leave a raw negative
+        behind; eval must still produce the two's-complement bits."""
+        interp, frame = make_interp()
+        const = Constant(0)
+        const.value = -4  # in-place constant fold, no re-masking
+        assert interp.eval(frame, const) == 0xFFFFFFFC
+
+    def test_folded_i64_constant_keeps_its_width(self):
+        interp, frame = make_interp()
+        const = Constant(0, I64)
+        const.value = -1
+        assert interp.eval(frame, const) == M64
+
+
+class TestSignedDivision:
+    """sdiv/srem must be exact pure-integer truncating division."""
+
+    def test_int_min_over_minus_one_wraps(self):
+        interp, frame = make_interp()
+        inst = BinOp("sdiv", Constant(0x80000000), Constant(0xFFFFFFFF))
+        # ARM SDIV: INT_MIN / -1 overflows and wraps back to INT_MIN.
+        assert interp._compute_binop(frame, inst) == 0x80000000
+
+    def test_int_min_rem_minus_one_is_zero(self):
+        interp, frame = make_interp()
+        inst = BinOp("srem", Constant(0x80000000), Constant(0xFFFFFFFF))
+        assert interp._compute_binop(frame, inst) == 0
+
+    @pytest.mark.parametrize("sa, sb, q, r", [
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+        (7, 2, 3, 1),
+    ])
+    def test_truncation_and_remainder_signs(self, sa, sb, q, r):
+        interp, frame = make_interp()
+        lhs, rhs = Constant(sa & 0xFFFFFFFF), Constant(sb & 0xFFFFFFFF)
+        assert interp._compute_binop(
+            frame, BinOp("sdiv", lhs, rhs)) == q & 0xFFFFFFFF
+        assert interp._compute_binop(
+            frame, BinOp("srem", lhs, rhs)) == r & 0xFFFFFFFF
+
+    def test_sdiv_64bit_is_exact(self):
+        """Float division loses the low quotient bits past 2**53; the
+        pure-integer path must not."""
+        sa, sb = -(2**62 + 1), 3
+        exact_q = -((2**62 + 1) // 3)
+        assert int(sa / sb) != exact_q  # the old float path really fails
+        interp, frame = make_interp()
+        inst = BinOp("sdiv", Constant(sa & M64, I64), Constant(sb, I64))
+        assert interp._compute_binop(frame, inst) == exact_q & M64
+
+    def test_srem_64bit_is_exact(self):
+        sa, sb = -(2**62 + 1), 3
+        interp, frame = make_interp()
+        inst = BinOp("srem", Constant(sa & M64, I64), Constant(sb, I64))
+        assert interp._compute_binop(frame, inst) == -2 & M64

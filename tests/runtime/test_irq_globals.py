@@ -1,0 +1,80 @@
+"""Handlers must see public globals, not an operation's shadow (§4.3).
+
+Regression for a monitor bug where ``OpecMonitor.global_address``
+resolved *every* lookup through the current operation's relocation
+table.  An exception handler is not part of any operation and is not
+instrumented — while an operation is suspended mid-IRQ, the handler
+must read the public original of an external global, not the
+operation's (dirty, unsanitised) shadow copy, and must neither read
+nor pollute the operation's address cache.
+"""
+
+import repro.ir as ir
+from repro import build_opec, run_image
+from repro.hw import stm32f4_discovery
+from repro.ir import I32, VOID
+from repro.partition import OperationSpec
+
+PUBLIC_INIT = 100
+SHADOW_SENTINEL = 55
+
+
+def _module():
+    """main arms SysTick, then enters an operation that dirties its
+    shadow of ``shared`` and spins until a tick fires."""
+    module = ir.Module("irqview")
+    shared = module.add_global("shared", I32, PUBLIC_INIT)
+    first = module.add_global("first_seen", I32, 0)
+
+    # The handler latches its *first* observation of `shared`, +1 so a
+    # legitimate zero is distinguishable from "never ran".
+    _h, b = ir.define(module, "SysTick_Handler", VOID, [],
+                      source_file="stm32_it.c", irq_number=15)
+    with b.if_then(b.icmp("eq", b.load(first), 0)):
+        b.store(b.add(b.load(shared), 1), first)
+    b.ret_void()
+
+    task, b = ir.define(module, "task", VOID, [])
+    b.store(SHADOW_SENTINEL, shared)  # lands in the operation's shadow
+    with b.for_range(0, 5000):        # ~35k cycles: several ticks fire
+        pass
+    b.ret_void()
+
+    _m, b = ir.define(module, "main", I32, [])
+    b.store(1999, b.mmio(0xE000E014))  # RVR: tick every 2000 cycles
+    b.store(7, b.mmio(0xE000E010))     # CSR: ENABLE | TICKINT
+    b.load(shared)                     # main + task share it -> external
+    b.call(task)
+    b.halt(b.load(first))
+    return module
+
+
+class TestHandlerGlobalView:
+    def test_handler_sees_public_value_mid_operation(self):
+        module = _module()
+        artifacts = build_opec(module, stm32f4_discovery(),
+                               [OperationSpec("task")])
+        result = run_image(artifacts.image, max_instructions=1_000_000)
+        # The first tick lands deep inside task's spin loop, after the
+        # sentinel store went to task's shadow.  The handler must still
+        # observe the public original.
+        assert result.halt_code == PUBLIC_INIT + 1
+        # Sanity: the shadow really was dirty and written back on exit.
+        shared = module.get_global("shared")
+        public = artifacts.image.public_addresses[shared]
+        assert result.machine.read_direct(public, 4) == SHADOW_SENTINEL
+
+    def test_handler_does_not_pollute_operation_cache(self):
+        """After the IRQ, the suspended operation must keep resolving
+        the external global to its own shadow."""
+        module = _module()
+        artifacts = build_opec(module, stm32f4_discovery(),
+                               [OperationSpec("task")])
+        result = run_image(artifacts.image, max_instructions=1_000_000)
+        # write_back copied the shadow (55) over the public original;
+        # had the handler polluted the cache with the public address,
+        # the operation's store would have hit the public copy directly
+        # and been clobbered by a stale write-back instead.
+        shared = module.get_global("shared")
+        public = artifacts.image.public_addresses[shared]
+        assert result.machine.read_direct(public, 4) == SHADOW_SENTINEL
