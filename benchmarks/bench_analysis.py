@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Compiler-side performance regression harness.
+
+The compile-time counterpart of ``bench_regress.py``: snapshots the
+OPEC-Compiler analysis pipeline into ``BENCH_analysis.json`` so the
+compile-side perf trajectory is tracked like the interpreter's.
+
+Per application (paper profile — builds only, nothing is simulated):
+
+* Andersen solver cost counters — worklist ``iterations``,
+  ``propagated_objects``, ``peak_delta``, final ``constraints`` sizes —
+  all *deterministic*: they are part of the determinism contract and
+  diffed by ``tools/check_determinism.py``;
+* derived call-graph facts (icall counts and how each was resolved,
+  operation/function counts) — deterministic too;
+* the per-stage wall-clock breakdown from ``BuildArtifacts.stage_times``
+  and the Andersen solve time — host measurements, masked from the
+  determinism diff.
+
+The ``harness`` section times one full evaluation-row pass
+(``compute_all_rows``) under the quick profile, serially and — when
+``REPRO_JOBS`` > 1 — through the process pool, recording the speedup.
+Skip it with ``--no-harness`` (the determinism checker does: the whole
+section is host wall-clock).
+
+Usage:  PYTHONPATH=src python benchmarks/bench_analysis.py [out.json] [--no-harness]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.eval.workloads import APP_NAMES, build_app, repro_jobs  # noqa: E402
+from repro.pipeline import build_opec  # noqa: E402
+
+
+def bench_app(name: str) -> dict:
+    app = build_app(name, profile="paper")
+    artifacts = build_opec(app.module, app.board, app.specs)
+    andersen = artifacts.andersen
+    graph = artifacts.callgraph
+    return {
+        "functions": len(app.module.functions),
+        "operations": len(artifacts.operations),
+        "andersen": {
+            "iterations": andersen.iterations,
+            "propagated_objects": andersen.propagated_objects,
+            "peak_delta": andersen.peak_delta,
+            "constraints": dict(andersen.constraint_counts),
+            "solve_wall_s": round(andersen.solve_time, 4),
+        },
+        "icalls": {
+            "total": graph.icall_count(),
+            "svf": graph.resolved_by("svf"),
+            "type": graph.resolved_by("type"),
+        },
+        "stages_wall_ms": {
+            stage: round(seconds * 1000, 2)
+            for stage, seconds in artifacts.stage_times.items()
+        },
+    }
+
+
+def _timed_rows(jobs: int) -> float:
+    """Time one full compute_all_rows pass in a fresh subprocess (cold
+    caches — the number a first-time ``report_all`` user sees)."""
+    env = dict(os.environ)
+    env["REPRO_PROFILE"] = "quick"
+    env["REPRO_JOBS"] = str(jobs)
+    env.setdefault("PYTHONPATH", str(REPO / "src"))
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-c",
+         "from repro.eval.workloads import compute_all_rows; compute_all_rows()"],
+        cwd=REPO, env=env, check=True,
+    )
+    return time.perf_counter() - start
+
+
+def bench_harness() -> dict:
+    jobs = repro_jobs()
+    serial = _timed_rows(1)
+    report = {
+        "profile": "quick",
+        "jobs": jobs,
+        "serial_rows_wall_s": round(serial, 2),
+    }
+    if jobs > 1:
+        parallel = _timed_rows(jobs)
+        report["parallel_rows_wall_s"] = round(parallel, 2)
+        report["speedup"] = round(serial / parallel, 2)
+    return report
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--no-harness"]
+    run_harness = "--no-harness" not in sys.argv[1:]
+    out = Path(args[0]) if args else REPO / "BENCH_analysis.json"
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "apps": {name: bench_app(name) for name in APP_NAMES},
+    }
+    if run_harness:
+        report["harness"] = bench_harness()
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

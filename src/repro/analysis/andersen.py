@@ -13,15 +13,22 @@ Abstract objects:
 * ``("global", gvar)`` — a global variable's storage;
 * ``("func", function)`` — a function (for function pointers).
 
-The solver is the classic worklist formulation: points-to sets
-propagate along copy edges; load/store constraints add new copy edges
-as the pointer operands' sets grow.
+The solver uses **difference propagation** (Pearce et al. style): each
+node carries a *delta* — the objects added to its points-to set since
+it was last processed — and only the delta flows along copy edges and
+into the load/store/icall constraints.  Together with a
+duplicate-suppressing worklist this makes each abstract object cross
+each edge exactly once, instead of whole sets being re-unioned on
+every pop.  The fixed point (and therefore every points-to set and
+icall edge) is identical to the naive full-propagation formulation;
+``tests/properties/test_andersen_equivalence.py`` holds the solver to
+that contract against a reference implementation.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Iterable
 
 from ..ir.function import Function
@@ -43,14 +50,29 @@ AbstractObject = tuple  # ("alloca"|"global"|"func", payload)
 
 
 class AndersenResult:
-    """Solved points-to information plus solver statistics."""
+    """Solved points-to information plus solver statistics.
+
+    Besides the points-to map and icall edges the result carries the
+    solver's cost counters, snapshotted by ``benchmarks/bench_analysis.py``:
+
+    * ``iterations`` — worklist pops;
+    * ``propagated_objects`` — total objects moved out of node deltas;
+    * ``peak_delta`` — largest single delta processed;
+    * ``constraint_counts`` — final constraint-graph sizes
+      (``copy_edges``, ``load``, ``store``, ``icall_sites``).
+    """
 
     def __init__(self, pts: dict, icall_edges: dict, solve_time: float,
-                 iterations: int):
+                 iterations: int, propagated_objects: int = 0,
+                 peak_delta: int = 0,
+                 constraint_counts: dict | None = None):
         self._pts = pts
         self._icall_edges = icall_edges
         self.solve_time = solve_time
         self.iterations = iterations
+        self.propagated_objects = propagated_objects
+        self.peak_delta = peak_delta
+        self.constraint_counts = dict(constraint_counts or {})
 
     def points_to(self, value: Value) -> frozenset[AbstractObject]:
         return frozenset(self._pts.get(value, ()))
@@ -73,15 +95,22 @@ class AndersenSolver:
     def __init__(self, module: Module):
         self.module = module
         self.pts: dict[object, set[AbstractObject]] = defaultdict(set)
+        # Objects added to pts[node] but not yet pushed along the
+        # node's outgoing constraints — the difference-propagation
+        # frontier.  Invariant: delta[node] ⊆ pts[node], and every
+        # object enters a node's delta exactly once.
+        self.delta: dict[object, set[AbstractObject]] = defaultdict(set)
         self.copy_edges: dict[object, set[object]] = defaultdict(set)
         self.load_uses: dict[object, set[object]] = defaultdict(set)
         self.store_sources: dict[object, set[object]] = defaultdict(set)
         self.icall_sites: dict[object, set[ICall]] = defaultdict(set)
         self.icall_edges: dict[ICall, set[Function]] = defaultdict(set)
         self.returns: dict[Function, list[Value]] = defaultdict(list)
-        self.call_results: dict[Function, set[object]] = defaultdict(set)
-        self.worklist: list[object] = []
+        self.worklist: deque[object] = deque()
+        self.on_worklist: set[object] = set()
         self.iterations = 0
+        self.propagated_objects = 0
+        self.peak_delta = 0
 
     # -- constraint generation -------------------------------------------
 
@@ -115,16 +144,23 @@ class AndersenSolver:
             self._copy(inst.operands[1], inst)
             self._copy(inst.operands[2], inst)
         elif isinstance(inst, Load):
-            self.load_uses[inst.pointer].add(inst)
-            self._reprocess(inst.pointer)
+            if inst not in self.load_uses[inst.pointer]:
+                self.load_uses[inst.pointer].add(inst)
+                # Catch up on objects the pointer already points to.
+                for obj in tuple(self.pts.get(inst.pointer, ())):
+                    self._copy(obj, inst)
         elif isinstance(inst, Store):
-            self.store_sources[inst.pointer].add(inst.value)
-            self._reprocess(inst.pointer)
+            if inst.value not in self.store_sources[inst.pointer]:
+                self.store_sources[inst.pointer].add(inst.value)
+                for obj in tuple(self.pts.get(inst.pointer, ())):
+                    self._copy(inst.value, obj)
         elif isinstance(inst, Call):
             self._wire_call(inst.callee, inst.operands, inst)
         elif isinstance(inst, ICall):
-            self.icall_sites[inst.target].add(inst)
-            self._reprocess(inst.target)
+            if inst not in self.icall_sites[inst.target]:
+                self.icall_sites[inst.target].add(inst)
+                for obj in tuple(self.pts.get(inst.target, ())):
+                    self._wire_icall_target(inst, obj)
 
     def _wire_call(self, callee: Function, args: Iterable[Value], result_node) -> None:
         for param, arg in zip(callee.params, args):
@@ -132,24 +168,39 @@ class AndersenSolver:
         for ret_val in self.returns.get(callee, ()):
             self._copy(ret_val, result_node)
 
+    def _wire_icall_target(self, icall: ICall, obj: AbstractObject) -> None:
+        if obj[0] != "func":
+            return
+        func = obj[1]
+        if func in self.icall_edges[icall]:
+            return
+        if not _signature_plausible(icall, func):
+            return
+        self.icall_edges[icall].add(func)
+        self._wire_call(func, icall.args, icall)
+
     # -- solver primitives ---------------------------------------------------
 
     def _add_pts(self, node: object, obj: AbstractObject) -> bool:
         if obj not in self.pts[node]:
             self.pts[node].add(obj)
-            self.worklist.append(node)
+            self.delta[node].add(obj)
+            self._schedule(node)
             return True
         return False
+
+    def _schedule(self, node: object) -> None:
+        if node not in self.on_worklist:
+            self.on_worklist.add(node)
+            self.worklist.append(node)
 
     def _copy(self, src: object, dst: object) -> None:
         if dst not in self.copy_edges[src]:
             self.copy_edges[src].add(dst)
-            if self.pts.get(src):
-                self.worklist.append(src)
-
-    def _reprocess(self, node: object) -> None:
-        if self.pts.get(node):
-            self.worklist.append(node)
+            # A fresh edge must carry src's *whole* current set once;
+            # afterwards only src's deltas flow across it.
+            for obj in tuple(self.pts.get(src, ())):
+                self._add_pts(dst, obj)
 
     # -- fixed point -----------------------------------------------------------
 
@@ -157,39 +208,45 @@ class AndersenSolver:
         start = time.perf_counter()
         self.build()
         while self.worklist:
-            node = self.worklist.pop()
+            node = self.worklist.popleft()
+            self.on_worklist.discard(node)
             self.iterations += 1
-            node_pts = self.pts.get(node, set())
-            if not node_pts:
+            d = self.delta.get(node)
+            if not d:
                 continue
-            # Copy edges: pts flows to targets.
-            for dst in list(self.copy_edges.get(node, ())):
-                before = len(self.pts[dst])
-                self.pts[dst] |= node_pts
-                if len(self.pts[dst]) != before:
-                    self.worklist.append(dst)
-            # Load constraints: *node flows into each load result.
-            for load_inst in list(self.load_uses.get(node, ())):
-                for obj in list(node_pts):
+            self.delta[node] = set()
+            if len(d) > self.peak_delta:
+                self.peak_delta = len(d)
+            self.propagated_objects += len(d)
+            # Copy edges: only the delta flows to targets.
+            for dst in tuple(self.copy_edges.get(node, ())):
+                for obj in d:
+                    self._add_pts(dst, obj)
+            # Load constraints: each new *node object feeds the loads.
+            for load_inst in tuple(self.load_uses.get(node, ())):
+                for obj in d:
                     self._copy(obj, load_inst)
-            # Store constraints: stored values flow into *node.
-            for src in list(self.store_sources.get(node, ())):
-                for obj in list(node_pts):
+            # Store constraints: stored values flow into new objects.
+            for src in tuple(self.store_sources.get(node, ())):
+                for obj in d:
                     self._copy(src, obj)
             # Indirect calls: new function targets wire args/returns.
-            for icall in list(self.icall_sites.get(node, ())):
-                for obj in list(node_pts):
-                    if obj[0] != "func":
-                        continue
-                    func = obj[1]
-                    if func not in self.icall_edges[icall]:
-                        if not _signature_plausible(icall, func):
-                            continue
-                        self.icall_edges[icall].add(func)
-                        self._wire_call(func, icall.args, icall)
+            for icall in tuple(self.icall_sites.get(node, ())):
+                for obj in d:
+                    self._wire_icall_target(icall, obj)
         elapsed = time.perf_counter() - start
-        return AndersenResult(dict(self.pts), dict(self.icall_edges),
-                              elapsed, self.iterations)
+        constraint_counts = {
+            "copy_edges": sum(len(v) for v in self.copy_edges.values()),
+            "load": sum(len(v) for v in self.load_uses.values()),
+            "store": sum(len(v) for v in self.store_sources.values()),
+            "icall_sites": sum(len(v) for v in self.icall_sites.values()),
+        }
+        return AndersenResult(
+            dict(self.pts), dict(self.icall_edges), elapsed, self.iterations,
+            propagated_objects=self.propagated_objects,
+            peak_delta=self.peak_delta,
+            constraint_counts=constraint_counts,
+        )
 
 
 def _signature_plausible(icall: ICall, func: Function) -> bool:

@@ -9,6 +9,14 @@ will bring dependency miss to operations".
 The per-icall bookkeeping feeds Table 3 (efficiency of the icall
 analysis): which analysis resolved each site and how many targets it
 has.
+
+Reachability queries (the partitioner's §4.3 DFS-with-backtracking)
+run on a lazily built SCC condensation: strongly connected components
+are collapsed once per graph, so each ``reachable_from`` walks the
+component DAG and unions pre-grouped member lists instead of popping
+every function and allocating difference sets per pop.  Results are
+cached per ``(entry, stops)`` — the graph is frozen after
+:func:`build_call_graph` returns, which keeps both caches valid.
 """
 
 from __future__ import annotations
@@ -34,6 +42,15 @@ class IcallSite:
 
 
 @dataclass
+class _Condensation:
+    """SCC condensation of the call graph (Tarjan, iterative)."""
+
+    comp_of: dict[Function, int]
+    members: list[tuple[Function, ...]]
+    successors: list[tuple[int, ...]]  # DAG edges between components
+
+
+@dataclass
 class CallGraph:
     """Adjacency over module functions with icall metadata."""
 
@@ -41,9 +58,83 @@ class CallGraph:
     successors: dict[Function, set[Function]] = field(default_factory=dict)
     icall_sites: list[IcallSite] = field(default_factory=list)
     andersen: Optional[AndersenResult] = None
+    _condensed: Optional[_Condensation] = field(
+        default=None, repr=False, compare=False)
+    _reach_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def callees(self, func: Function) -> set[Function]:
         return self.successors.get(func, set())
+
+    # -- SCC condensation ---------------------------------------------
+
+    def condensation(self) -> _Condensation:
+        if self._condensed is None:
+            self._condensed = self._condense()
+        return self._condensed
+
+    def _condense(self) -> _Condensation:
+        index: dict[Function, int] = {}
+        lowlink: dict[Function, int] = {}
+        on_stack: set[Function] = set()
+        scc_stack: list[Function] = []
+        comp_of: dict[Function, int] = {}
+        members: list[tuple[Function, ...]] = []
+        counter = 0
+
+        for root in self.module.iter_functions():
+            if root in index:
+                continue
+            # Iterative Tarjan: (node, iterator over its callees).
+            work = [(root, iter(self.successors.get(root, ())))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            scc_stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter
+                        counter += 1
+                        scc_stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(self.successors.get(succ, ()))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    comp: list[Function] = []
+                    while True:
+                        member = scc_stack.pop()
+                        on_stack.discard(member)
+                        comp_of[member] = len(members)
+                        comp.append(member)
+                        if member is node:
+                            break
+                    members.append(tuple(comp))
+
+        comp_succ: list[set[int]] = [set() for _ in members]
+        for func, callees in self.successors.items():
+            cid = comp_of[func]
+            for callee in callees:
+                tid = comp_of.get(callee)
+                if tid is not None and tid != cid:
+                    comp_succ[cid].add(tid)
+        return _Condensation(
+            comp_of=comp_of,
+            members=members,
+            successors=[tuple(s) for s in comp_succ],
+        )
+
+    # -- reachability -------------------------------------------------
 
     def reachable_from(
         self,
@@ -52,7 +143,48 @@ class CallGraph:
     ) -> set[Function]:
         """DFS from ``entry``; backtrack at other operation entries
         (§4.3) — the entry itself is included, stops are excluded."""
-        stops = set(stop_at) - {entry}
+        stops = frozenset(set(stop_at) - {entry})
+        key = (entry, stops)
+        cached = self._reach_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._reachable(entry, stops))
+            self._reach_cache[key] = cached
+        return set(cached)
+
+    def _reachable(self, entry: Function,
+                   stops: frozenset[Function]) -> set[Function]:
+        cond = self.condensation()
+        # Components where only *some* members are stops can't be
+        # skipped or taken whole; fall back to the function-level walk
+        # for exact semantics (entries are not normally in cycles).
+        blocked: set[int] = set()
+        for stop in stops:
+            cid = cond.comp_of.get(stop)
+            if cid is None:
+                continue
+            if len(cond.members[cid]) > 1 and any(
+                    m not in stops for m in cond.members[cid]):
+                return self._reachable_functions(entry, stops)
+            blocked.add(cid)
+
+        start = cond.comp_of.get(entry)
+        if start is None or start in blocked:
+            return self._reachable_functions(entry, stops)
+        seen_comps: set[int] = {start}
+        stack = [start]
+        result: set[Function] = set()
+        while stack:
+            cid = stack.pop()
+            result.update(cond.members[cid])
+            for tid in cond.successors[cid]:
+                if tid not in seen_comps and tid not in blocked:
+                    seen_comps.add(tid)
+                    stack.append(tid)
+        return result
+
+    def _reachable_functions(self, entry: Function,
+                             stops: frozenset[Function]) -> set[Function]:
+        """Plain function-level DFS (exact fallback)."""
         seen: set[Function] = set()
         stack = [entry]
         while stack:
@@ -60,7 +192,9 @@ class CallGraph:
             if func in seen or func in stops:
                 continue
             seen.add(func)
-            stack.extend(self.callees(func) - seen - stops)
+            for callee in self.successors.get(func, ()):
+                if callee not in seen and callee not in stops:
+                    stack.append(callee)
         return seen
 
     # -- Table 3 statistics -------------------------------------------

@@ -12,10 +12,20 @@ Two primitives back the resource-dependency analysis:
   constants passed at direct call sites (bounded depth), and through
   loads of constant-initialised scalar globals (the "HAL handle holds
   the peripheral base" pattern).
+
+Both primitives are on the compile-time hot path (they run once per
+load/store pointer per function), so each is indexed and memoized:
+``forward_derived`` consults a per-function def-use index instead of
+rescanning every instruction per fixpoint round, and
+:class:`ConstantAddressResolver` caches resolved sub-slices.  Modules
+are assumed frozen once analysis starts (the builders fully construct
+them first), which is what makes the caches safe.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import defaultdict
 from typing import Iterable, Optional
 
 from ..ir.function import Function
@@ -25,38 +35,68 @@ from ..ir.values import Constant, ConstantPointer, GlobalVariable, Parameter, Va
 
 _MAX_PARAM_DEPTH = 3
 
+# func -> {value: [instructions that derive a pointer from it]}.  Weak
+# keys so cached indexes die with their functions (test modules churn).
+_use_index_cache: "weakref.WeakKeyDictionary[Function, dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _use_index(func: Function) -> dict[Value, list[Value]]:
+    """Map each value to the instructions deriving a value from it
+    under the :func:`forward_derived` rules."""
+    index = _use_index_cache.get(func)
+    if index is None:
+        index = defaultdict(list)
+        for inst in func.iter_instructions():
+            if isinstance(inst, (GEP, Cast)):
+                index[inst.operands[0]].append(inst)
+            elif isinstance(inst, Select):
+                index[inst.operands[1]].append(inst)
+                index[inst.operands[2]].append(inst)
+            elif isinstance(inst, BinOp):
+                for op in inst.operands:
+                    index[op].append(inst)
+        index.default_factory = None  # freeze: reads must not grow it
+        _use_index_cache[func] = index
+    return index
+
 
 def forward_derived(func: Function, roots: Iterable[Value]) -> set[Value]:
-    """All values in ``func`` transitively derived from ``roots``."""
+    """All values in ``func`` transitively derived from ``roots``.
+
+    A single worklist pass over the def-use index: each derivation edge
+    is looked at once, instead of rescanning every instruction of the
+    function until a fixpoint (quadratic in instruction count).
+    """
+    index = _use_index(func)
     derived: set[Value] = set(roots)
-    changed = True
-    while changed:
-        changed = False
-        for inst in func.iter_instructions():
-            if inst in derived:
-                continue
-            if isinstance(inst, (GEP, Cast)):
-                if inst.operands[0] in derived:
-                    derived.add(inst)
-                    changed = True
-            elif isinstance(inst, Select):
-                if inst.operands[1] in derived or inst.operands[2] in derived:
-                    derived.add(inst)
-                    changed = True
-            elif isinstance(inst, BinOp):
-                if any(op in derived for op in inst.operands):
-                    derived.add(inst)
-                    changed = True
+    stack: list[Value] = list(derived)
+    while stack:
+        value = stack.pop()
+        for inst in index.get(value, ()):
+            if inst not in derived:
+                derived.add(inst)
+                stack.append(inst)
     return derived
 
 
 class ConstantAddressResolver:
-    """Backward-slices pointer operands to constant addresses."""
+    """Backward-slices pointer operands to constant addresses.
+
+    ``resolve`` is memoized per ``(value, depth)``: HAL register-write
+    helpers are backward-sliced once, not once per call site of every
+    function that uses them.  A cycle guard returns the empty set on
+    re-entrant sub-slices (mutually recursive parameter chains) and
+    keeps cycle-tainted results out of the memo so they cannot leak
+    into contexts where the cycle is absent.
+    """
 
     def __init__(self, module: Module):
         self.module = module
         self._call_sites: dict[Function, list[Call]] = {}
         self._param_owner: dict[Parameter, Function] = {}
+        self._memo: dict[tuple[Value, int], frozenset[int]] = {}
+        self._in_progress: set[tuple[Value, int]] = set()
         for func in module.iter_functions():
             for param in func.params:
                 self._param_owner[param] = func
@@ -66,46 +106,82 @@ class ConstantAddressResolver:
 
     def resolve(self, value: Value, depth: int = 0) -> set[int]:
         """Constant addresses ``value`` may evaluate to, or empty."""
+        result, _clean = self._resolve(value, depth)
+        return set(result)
+
+    def _resolve(self, value: Value, depth: int) -> tuple[frozenset[int], bool]:
+        key = (value, depth)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached, True
+        if key in self._in_progress:
+            return frozenset(), False  # cycle: unknown, and tainted
+        self._in_progress.add(key)
+        try:
+            result, clean = self._resolve_inner(value, depth)
+        finally:
+            self._in_progress.discard(key)
+        if clean:
+            self._memo[key] = result
+        return result, clean
+
+    def _resolve_inner(self, value: Value,
+                       depth: int) -> tuple[frozenset[int], bool]:
         if isinstance(value, ConstantPointer):
-            return {value.address}
+            return frozenset((value.address,)), True
         if isinstance(value, Constant):
-            return {value.value}
+            return frozenset((value.value,)), True
         if isinstance(value, Cast):
-            return self.resolve(value.operands[0], depth)
+            return self._resolve(value.operands[0], depth)
         if isinstance(value, GEP):
-            bases = self.resolve(value.pointer, depth)
+            bases, clean = self._resolve(value.pointer, depth)
             if not bases:
-                return set()
+                return frozenset(), clean
             offset = _constant_gep_offset(value)
             if offset is None:
-                return set()
-            return {base + offset for base in bases}
+                return frozenset(), clean
+            return frozenset(base + offset for base in bases), clean
         if isinstance(value, BinOp) and value.op == "add":
-            lhs = self.resolve(value.operands[0], depth)
-            rhs = self.resolve(value.operands[1], depth)
+            lhs, lclean = self._resolve(value.operands[0], depth)
+            rhs, rclean = self._resolve(value.operands[1], depth)
+            clean = lclean and rclean
             if lhs and rhs:
-                return {a + b for a in lhs for b in rhs}
-            return set()
+                return frozenset(a + b for a in lhs for b in rhs), clean
+            return frozenset(), clean
         if isinstance(value, Load):
             pointer = value.pointer
             if isinstance(pointer, GlobalVariable) and pointer.is_const:
                 init = pointer.initializer
                 if isinstance(init, int):
-                    return {init}
-            return set()
+                    return frozenset((init,)), True
+            return frozenset(), True
         if isinstance(value, Parameter) and depth < _MAX_PARAM_DEPTH:
-            func = self._param_owner.get(value)
-            if func is None:
-                return set()
-            addresses: set[int] = set()
-            for call in self._call_sites.get(func, ()):  # direct calls only
-                if value.index < len(call.operands):
-                    resolved = self.resolve(call.operands[value.index], depth + 1)
-                    if not resolved:
-                        return set()  # one unresolvable caller → unknown
-                    addresses |= resolved
-            return addresses
-        return set()
+            return self._resolve_parameter(value, depth)
+        return frozenset(), True
+
+    def _resolve_parameter(self, value: Parameter,
+                           depth: int) -> tuple[frozenset[int], bool]:
+        """All-or-nothing caller contract: the parameter resolves only
+        if *every* direct caller passing this argument resolves to
+        constants; one unresolvable caller makes the whole parameter
+        unknown (a partial address set would under-approximate the
+        peripherals the function can touch — unsound for the MPU
+        policy).  Callers that pass fewer arguments than ``index`` are
+        skipped, not treated as unresolvable."""
+        func = self._param_owner.get(value)
+        if func is None:
+            return frozenset(), True
+        addresses: set[int] = set()
+        clean = True
+        for call in self._call_sites.get(func, ()):  # direct calls only
+            if value.index < len(call.operands):
+                resolved, sub_clean = self._resolve(
+                    call.operands[value.index], depth + 1)
+                clean = clean and sub_clean
+                if not resolved:
+                    return frozenset(), clean  # one unresolvable caller → unknown
+                addresses |= resolved
+        return frozenset(addresses), clean
 
 
 def _constant_gep_offset(gep: GEP) -> Optional[int]:
@@ -133,5 +209,3 @@ def _constant_gep_offset(gep: GEP) -> Optional[int]:
         else:
             return None
     return offset
-
-

@@ -44,6 +44,9 @@ def _cmd_build(args) -> int:
     print(f"flash: monitor={artifacts.image.monitor_code_bytes}B "
           f"metadata={artifacts.image.metadata_bytes}B "
           f"svc-stubs={artifacts.image.instrumentation_bytes}B")
+    stages = " ".join(f"{name}={seconds * 1000:.1f}ms"
+                      for name, seconds in artifacts.stage_times.items())
+    print(f"compile stages: {stages}")
     if args.policy:
         write_policy(artifacts.image, args.policy)
         print(f"policy file written to {args.policy}")

@@ -5,6 +5,10 @@ and figure and writes:
 
 * ``<target>.txt`` — the rendered text (what the console prints);
 * ``<target>.tsv`` — machine-readable rows for plotting elsewhere.
+
+Rows come from :func:`repro.eval.workloads.compute_all_rows`, so
+``REPRO_JOBS`` > 1 regenerates the applications concurrently while the
+written files stay bit-identical to a serial export.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import os
 import sys
 
 from . import figure9, figure10, figure11, table1, table2, table3
+from .workloads import compute_all_rows
 
 
 def _tsv(rows: list[list[object]]) -> str:
@@ -32,7 +37,9 @@ def export_all(output_dir: str) -> list[str]:
             handle.write(_tsv(rows))
         written.extend([text_path, tsv_path])
 
-    t1 = table1.compute_table()
+    all_rows = compute_all_rows()
+
+    t1 = all_rows["table1"]
     save("table1", table1.render(t1), [
         ["app", "ops", "avg_funcs", "pri_code", "pri_pct",
          "avg_gvars", "avg_gvars_pct"],
@@ -41,14 +48,14 @@ def export_all(output_dir: str) -> list[str]:
            f"{r.avg_gvars:.2f}", f"{r.avg_gvars_pct:.2f}"] for r in t1],
     ])
 
-    f9 = figure9.compute_figure()
+    f9 = all_rows["figure9"]
     save("figure9", figure9.render(f9), [
         ["app", "runtime_pct", "flash_pct", "sram_pct"],
         *[[r.app, f"{r.runtime_pct:.4f}", f"{r.flash_pct:.3f}",
            f"{r.sram_pct:.3f}"] for r in f9],
     ])
 
-    t2 = table2.compute_table()
+    t2 = all_rows["table2"]
     save("table2", table2.render(t2), [
         ["app", "policy", "ro_x", "fo_pct", "so_pct", "pac_pct"],
         *[[r.app, r.policy, f"{r.runtime_ratio:.3f}",
@@ -56,7 +63,7 @@ def export_all(output_dir: str) -> list[str]:
            f"{r.privileged_app_pct:.2f}"] for r in t2],
     ])
 
-    f10 = figure10.compute_figure()
+    f10 = all_rows["figure10"]
     rows10: list[list[object]] = [["app", "policy",
                                    *(f"pt<={t}" for t in figure10.THRESHOLDS)]]
     for entry in f10:
@@ -65,7 +72,7 @@ def export_all(output_dir: str) -> list[str]:
                            *(f"{v:.3f}" for v in entry.cumulative(policy))])
     save("figure10", figure10.render(f10), rows10)
 
-    f11 = figure11.compute_figure()
+    f11 = all_rows["figure11"]
     rows11: list[list[object]] = [["app", "policy", "task", "et"]]
     for entry in f11:
         for policy, values in entry.et.items():
@@ -73,7 +80,7 @@ def export_all(output_dir: str) -> list[str]:
                 rows11.append([entry.app, policy, task, f"{value:.3f}"])
     save("figure11", figure11.render(f11), rows11)
 
-    t3 = table3.compute_table()
+    t3 = all_rows["table3"]
     save("table3", table3.render(t3), [
         ["app", "icalls", "svf", "time_s", "type", "avg", "max"],
         *[[r.app, r.icalls, r.svf_resolved, f"{r.solve_time_s:.3f}",

@@ -59,15 +59,16 @@ def opec_pt_values(name: str) -> list[float]:
     return values
 
 
+def compute_app(name: str) -> Figure10Data:
+    entry = Figure10Data(app=name)
+    for strategy in ALL_STRATEGIES:
+        entry.pt_values[strategy] = aces_pt_values(name, strategy)
+    entry.pt_values["OPEC"] = opec_pt_values(name)
+    return entry
+
+
 def compute_figure(apps: tuple[str, ...] = ACES_APPS) -> list[Figure10Data]:
-    data = []
-    for name in apps:
-        entry = Figure10Data(app=name)
-        for strategy in ALL_STRATEGIES:
-            entry.pt_values[strategy] = aces_pt_values(name, strategy)
-        entry.pt_values["OPEC"] = opec_pt_values(name)
-        data.append(entry)
-    return data
+    return [compute_app(name) for name in apps]
 
 
 def render(data: list[Figure10Data]) -> str:

@@ -45,7 +45,12 @@ def compute_row(name: str) -> Figure9Row:
 
 
 def compute_figure(apps: tuple[str, ...] = APP_NAMES) -> list[Figure9Row]:
-    rows = [compute_row(name) for name in apps]
+    return finalize_rows([compute_row(name) for name in apps])
+
+
+def finalize_rows(rows: list[Figure9Row]) -> list[Figure9Row]:
+    """Append the paper's Average row to per-app rows."""
+    rows = list(rows)
     rows.append(Figure9Row(
         app="Average",
         runtime_pct=sum(r.runtime_pct for r in rows) / len(rows),

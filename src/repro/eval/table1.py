@@ -55,7 +55,12 @@ def compute_row(name: str) -> Table1Row:
 
 
 def compute_table(apps: tuple[str, ...] = APP_NAMES) -> list[Table1Row]:
-    rows = [compute_row(name) for name in apps]
+    return finalize_rows([compute_row(name) for name in apps])
+
+
+def finalize_rows(rows: list[Table1Row]) -> list[Table1Row]:
+    """Append the paper's Average row to per-app rows."""
+    rows = list(rows)
     rows.append(Table1Row(
         app="Average",
         operations=round(sum(r.operations for r in rows) / len(rows), 2),

@@ -9,6 +9,12 @@ Two profiles:
 Set ``REPRO_PROFILE=quick`` in the environment to downscale everything.
 Builds and runs are memoised per process: several table/figure
 generators share the same artifacts.
+
+:func:`compute_all_rows` is the evaluation fan-out point: it computes
+every table/figure row of §6, either serially in-process or — with
+``REPRO_JOBS`` > 1 — one worker process per application, merging the
+returned rows in fixed :data:`APP_NAMES` order so the rendered output
+is byte-identical either way.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from ..apps import ALL_APPS, Application
+from ..apps import ACES_APPS, ALL_APPS, Application
 from ..apps import coremark, pinlock
 from ..baselines import AcesArtifacts, build_aces
 from ..pipeline import BuildArtifacts, RunResult, build_opec, build_vanilla, run_image
@@ -26,6 +32,18 @@ APP_NAMES = tuple(ALL_APPS)
 
 def active_profile() -> str:
     return os.environ.get("REPRO_PROFILE", "paper")
+
+
+def repro_jobs() -> int:
+    """Evaluation fan-out width.  ``REPRO_JOBS`` unset/1 → serial;
+    ``0`` or ``auto`` → one worker per CPU."""
+    raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+    if raw in ("0", "auto"):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
 
 
 _app_cache: dict[tuple[str, str], Application] = {}
@@ -94,3 +112,65 @@ def run_build(name: str, kind: str,
     app.verify_run(result.machine, result.halt_code)
     _run_cache[key] = result
     return result
+
+
+# -- whole-evaluation fan-out ------------------------------------------
+
+
+def _compute_app_rows(name: str) -> dict:
+    """Every §6 row that concerns one application, under the ambient
+    profile.  Row objects are plain dataclasses of primitives, so they
+    cross a process boundary."""
+    from . import figure9, figure10, figure11, table1, table2, table3
+
+    rows: dict = {
+        "table1": table1.compute_row(name),
+        "figure9": figure9.compute_row(name),
+        "table3": table3.compute_row(name),
+    }
+    if name in ACES_APPS:
+        rows["table2"] = table2.compute_rows(name)
+        rows["figure10"] = figure10.compute_app(name)
+        rows["figure11"] = figure11.compute_app(name)
+    return rows
+
+
+def _app_rows_worker(job: tuple[str, str]) -> tuple[str, dict]:
+    """Process-pool entry point: pin the worker's profile, then compute
+    one app's rows (each worker warms only its own caches)."""
+    name, profile = job
+    os.environ["REPRO_PROFILE"] = profile
+    return name, _compute_app_rows(name)
+
+
+def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
+    """All rows for Tables 1–3 and Figures 9–11.
+
+    With ``jobs`` (default: ``REPRO_JOBS``) > 1, applications are
+    built and run concurrently in a process pool; the per-app rows are
+    then merged in fixed ``APP_NAMES`` order, so the result — and
+    everything rendered from it — is identical to the serial path.
+    """
+    from . import figure9, table1
+
+    jobs = repro_jobs() if jobs is None else max(1, jobs)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        profile = active_profile()
+        with ProcessPoolExecutor(max_workers=min(jobs, len(APP_NAMES))) as pool:
+            per_app = dict(pool.map(
+                _app_rows_worker, [(name, profile) for name in APP_NAMES]))
+    else:
+        per_app = {name: _compute_app_rows(name) for name in APP_NAMES}
+    return {
+        "table1": table1.finalize_rows(
+            [per_app[name]["table1"] for name in APP_NAMES]),
+        "figure9": figure9.finalize_rows(
+            [per_app[name]["figure9"] for name in APP_NAMES]),
+        "table2": [row for name in ACES_APPS
+                   for row in per_app[name]["table2"]],
+        "figure10": [per_app[name]["figure10"] for name in ACES_APPS],
+        "figure11": [per_app[name]["figure11"] for name in ACES_APPS],
+        "table3": [per_app[name]["table3"] for name in APP_NAMES],
+    }

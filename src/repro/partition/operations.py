@@ -142,15 +142,19 @@ def partition_operations(
     if len(set(entry_funcs)) != len(entry_funcs):
         raise PartitionError("duplicate operation entries")
 
-    all_entries = set(entry_funcs) | {main}
+    # One frozen stop set shared by every query keeps the call graph's
+    # per-(entry, stops) reachability cache hot across entries, and the
+    # monitor/interrupt exclusion is computed once, not per operation.
+    all_entries = frozenset(entry_funcs) | {main}
+    excluded = {
+        f for f in module.iter_functions()
+        if f.is_monitor or f.is_interrupt_handler
+    }
     operations: list[Operation] = []
     ordered = [(main, OperationSpec(entry="main"))] + list(zip(entry_funcs, specs))
     for index, (entry, spec) in enumerate(ordered):
         functions = graph.reachable_from(entry, stop_at=all_entries)
-        functions = {
-            f for f in functions
-            if not f.is_monitor and not f.is_interrupt_handler
-        }
+        functions -= excluded
         merged = FunctionResources()
         for func in functions:
             merged.merge(resources.function_resources(func))

@@ -8,7 +8,8 @@ then the image runs on a simulated machine under the chosen runtime
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from .analysis.andersen import AndersenResult, run_andersen
@@ -45,6 +46,10 @@ class BuildArtifacts:
     operations: list[Operation]
     policy: SystemPolicy
     image: OpecImage
+    # Host wall-clock seconds per compiler stage (verify / andersen /
+    # callgraph / resources / partition / policy / image) — diagnostic
+    # only, never part of the determinism contract.
+    stage_times: dict[str, float] = field(default_factory=dict)
 
 
 def build_opec(
@@ -57,19 +62,32 @@ def build_opec(
     verify: bool = True,
 ) -> BuildArtifacts:
     """Run the full OPEC-Compiler pipeline (Figure 5, stage I)."""
+    stage_times: dict[str, float] = {}
+
+    def timed(stage: str, thunk):
+        start = time.perf_counter()
+        result = thunk()
+        stage_times[stage] = time.perf_counter() - start
+        return result
+
     if verify:
-        verify_module(module)
-    andersen = run_andersen(module)
-    graph = build_call_graph(module, andersen)
+        timed("verify", lambda: verify_module(module))
+    andersen = timed("andersen", lambda: run_andersen(module))
+    graph = timed("callgraph", lambda: build_call_graph(module, andersen))
     resources = ResourceAnalysis(module, board, andersen)
-    operations = partition_operations(module, graph, specs, resources)
-    policy = build_policy(module, operations)
-    image = build_opec_image(module, board, policy,
-                             stack_size=stack_size, heap_size=heap_size)
+    # Pre-warm the per-function cache so "resources" carries the slicing
+    # cost and "partition" is pure reachability + merging.
+    timed("resources", lambda: [resources.function_resources(f)
+                                for f in module.iter_functions()])
+    operations = timed("partition", lambda: partition_operations(
+        module, graph, specs, resources))
+    policy = timed("policy", lambda: build_policy(module, operations))
+    image = timed("image", lambda: build_opec_image(
+        module, board, policy, stack_size=stack_size, heap_size=heap_size))
     return BuildArtifacts(
         module=module, board=board, andersen=andersen, callgraph=graph,
         resources=resources, operations=operations, policy=policy,
-        image=image,
+        image=image, stage_times=stage_times,
     )
 
 

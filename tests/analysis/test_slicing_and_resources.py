@@ -74,6 +74,42 @@ class TestConstantAddressResolver:
         resolver = ConstantAddressResolver(module)
         assert resolver.resolve(p) == {RCC_BASE, GPIOA_BASE}
 
+    def test_parameter_mixed_callers_all_or_nothing(self):
+        """The documented contract: one unresolvable caller makes the
+        whole parameter unknown — addresses already collected from the
+        resolvable caller must NOT leak out as a partial answer."""
+        module = ir.Module("m")
+        write_reg, wb = ir.define(module, "write_reg", VOID, [I32])
+        p = wb.inttoptr(write_reg.params[0], I32)
+        wb.store(0, p)
+        wb.ret_void()
+        _f, b = ir.define(module, "f", VOID, [I32])
+        b.call(write_reg, RCC_BASE)                # resolvable caller
+        b.call(write_reg, b.add(_f.params[0], 4))  # dynamic caller
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        assert resolver.resolve(p) == set()
+
+    def test_parameter_resolution_memoized_and_stable(self):
+        """Memoization must not change answers: repeated resolutions
+        (warm cache) and a fresh resolver agree, for both the fully
+        resolvable and the mixed case."""
+        module = ir.Module("m")
+        write_reg, wb = ir.define(module, "write_reg", VOID, [I32, I32])
+        addr, value = write_reg.params
+        p = wb.inttoptr(addr, I32)
+        wb.store(value, p)
+        wb.ret_void()
+        _f, b = ir.define(module, "f", VOID, [])
+        b.call(write_reg, RCC_BASE, 1)
+        b.call(write_reg, GPIOA_BASE, 2)
+        b.ret_void()
+        resolver = ConstantAddressResolver(module)
+        first = resolver.resolve(p)
+        second = resolver.resolve(p)
+        assert first == second == {RCC_BASE, GPIOA_BASE}
+        assert ConstantAddressResolver(module).resolve(p) == first
+
     def test_parameter_with_unknown_caller_unresolved(self):
         module = ir.Module("m")
         write_reg, wb = ir.define(module, "write_reg", VOID, [I32])

@@ -47,3 +47,34 @@ def test_active_profile_env(monkeypatch):
     assert workloads.active_profile() == "paper"
     monkeypatch.setenv("REPRO_PROFILE", "quick")
     assert workloads.active_profile() == "quick"
+
+
+def test_repro_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert workloads.repro_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert workloads.repro_jobs() == 4
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert workloads.repro_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    assert workloads.repro_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    assert workloads.repro_jobs() == 1
+
+
+def test_compute_all_rows_sections_and_order():
+    rows = workloads.compute_all_rows(jobs=1)
+    assert set(rows) == {"table1", "figure9", "table2", "figure10",
+                         "figure11", "table3"}
+    assert [r.app for r in rows["table1"]] == \
+        [*workloads.APP_NAMES, "Average"]
+    assert [r.app for r in rows["table3"]] == list(workloads.APP_NAMES)
+
+
+def test_compute_all_rows_parallel_merge_identical():
+    """The REPRO_JOBS fan-out contract: a process-pool evaluation must
+    merge into exactly the rows the serial path computes (row
+    dataclasses compare by value, floats included)."""
+    serial = workloads.compute_all_rows(jobs=1)
+    parallel = workloads.compute_all_rows(jobs=2)
+    assert serial == parallel

@@ -1,0 +1,115 @@
+"""A deliberately naive Andersen solver used as a test oracle.
+
+Re-states the inclusion-constraint semantics of
+``repro.analysis.andersen`` in the most literal form possible: sweep
+every constraint, re-union whole points-to sets, and repeat until an
+entire pass changes nothing.  No worklist, no deltas, no duplicate
+suppression — slow and obviously correct.  The optimized
+difference-propagation solver must reach the identical fixed point
+(points-to sets and icall edges) on every module.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.andersen import _signature_plausible
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    GEP,
+    ICall,
+    Load,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import GlobalVariable
+
+
+class NaiveAndersen:
+    """Round-robin full-propagation Andersen fixpoint."""
+
+    def __init__(self, module):
+        self.module = module
+        self.pts = defaultdict(set)
+        self.copy_edges = defaultdict(set)
+        self.load_uses = defaultdict(set)
+        self.store_sources = defaultdict(set)
+        self.icall_site_list = []
+        self.icall_edges = defaultdict(set)
+        self.returns = defaultdict(list)
+        self.passes = 0
+
+    def solve(self):
+        self._collect()
+        changed = True
+        while changed:
+            self.passes += 1
+            changed = False
+            for src, dsts in list(self.copy_edges.items()):
+                for dst in list(dsts):
+                    if not self.pts[src] <= self.pts[dst]:
+                        self.pts[dst] |= self.pts[src]
+                        changed = True
+            for pointer, loads in list(self.load_uses.items()):
+                for obj in list(self.pts[pointer]):
+                    for load_inst in loads:
+                        if load_inst not in self.copy_edges[obj]:
+                            self.copy_edges[obj].add(load_inst)
+                            changed = True
+            for pointer, sources in list(self.store_sources.items()):
+                for obj in list(self.pts[pointer]):
+                    for src in sources:
+                        if obj not in self.copy_edges[src]:
+                            self.copy_edges[src].add(obj)
+                            changed = True
+            for icall in self.icall_site_list:
+                for obj in list(self.pts[icall.target]):
+                    if obj[0] != "func":
+                        continue
+                    func = obj[1]
+                    if func in self.icall_edges[icall]:
+                        continue
+                    if not _signature_plausible(icall, func):
+                        continue
+                    self.icall_edges[icall].add(func)
+                    self._wire_call(func, icall.args, icall)
+                    changed = True
+        return dict(self.pts), dict(self.icall_edges)
+
+    def _collect(self):
+        for func in self.module.iter_functions():
+            for inst in func.iter_instructions():
+                if isinstance(inst, Ret) and inst.value is not None:
+                    self.returns[func].append(inst.value)
+        for func in self.module.iter_functions():
+            for inst in func.iter_instructions():
+                for op in inst.operands:
+                    if isinstance(op, GlobalVariable):
+                        self.pts[op].add(("global", op))
+                    elif isinstance(op, Function):
+                        self.pts[op].add(("func", op))
+                if isinstance(inst, Alloca):
+                    self.pts[inst].add(("alloca", inst))
+                elif isinstance(inst, (GEP, Cast)):
+                    self.copy_edges[inst.operands[0]].add(inst)
+                elif isinstance(inst, Select):
+                    self.copy_edges[inst.operands[1]].add(inst)
+                    self.copy_edges[inst.operands[2]].add(inst)
+                elif isinstance(inst, Load):
+                    self.load_uses[inst.pointer].add(inst)
+                elif isinstance(inst, Store):
+                    self.store_sources[inst.pointer].add(inst.value)
+                elif isinstance(inst, Call):
+                    self._wire_call(inst.callee, inst.operands, inst)
+                elif isinstance(inst, ICall):
+                    self.icall_site_list.append(inst)
+
+    def _wire_call(self, callee, args, result_node):
+        for param, arg in zip(callee.params, args):
+            self.copy_edges[arg].add(param)
+        for ret_val in self.returns.get(callee, ()):
+            self.copy_edges[ret_val].add(result_node)
