@@ -47,7 +47,7 @@ def main() -> None:
     # Vanilla: find KEY's address, fire the exploit.
     app = pinlock.build(rounds=1, vulnerable=True)
     image = build_vanilla(app.module, app.board)
-    key_addr = image.global_address(app.module.get_global("KEY"))
+    key_addr = image.global_address(image.module.get_global("KEY"))
     print(f"KEY lives at 0x{key_addr:08X} in the vanilla build")
     result = run_image(image, setup=attack_setup(key_addr),
                        max_instructions=app.max_instructions)
@@ -59,7 +59,7 @@ def main() -> None:
     # OPEC: same exploit against the public copy of KEY.
     app = pinlock.build(rounds=1, vulnerable=True)
     artifacts = build_opec(app.module, app.board, app.specs)
-    key = app.module.get_global("KEY")
+    key = artifacts.module.get_global("KEY")
     target = artifacts.image.public_addresses[key]
     print(f"under OPEC, KEY's public copy lives at 0x{target:08X}")
     lock_op = artifacts.policy.operation_by_entry("Lock_Task")

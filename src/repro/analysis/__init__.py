@@ -8,7 +8,13 @@ per-function resource-dependency analysis over globals and peripherals.
 from .andersen import AndersenResult, AndersenSolver, run_andersen
 from .callgraph import CallGraph, IcallSite, build_call_graph
 from .resources import FunctionResources, ResourceAnalysis
-from .slicing import ConstantAddressResolver, forward_derived
+from .slicing import (
+    ConstantAddressResolver,
+    clear_slicing_caches,
+    forward_derived,
+)
+
+
 from .typeanalysis import (
     TypeBasedResolver,
     address_taken_functions,
@@ -20,7 +26,20 @@ __all__ = [
     "AndersenResult", "AndersenSolver", "run_andersen",
     "CallGraph", "IcallSite", "build_call_graph",
     "FunctionResources", "ResourceAnalysis",
-    "ConstantAddressResolver", "forward_derived",
+    "ConstantAddressResolver", "clear_analysis_caches",
+    "clear_slicing_caches", "forward_derived",
     "TypeBasedResolver", "address_taken_functions",
     "signature_key", "signatures_match",
 ]
+
+
+def clear_analysis_caches() -> None:
+    """Reset every module-level analysis memo.
+
+    The slicing def-use index is the only module-level store today;
+    call-graph reachability and Andersen deltas live on their result
+    objects and die with the artifacts that own them.  Kept as the
+    single entry point so future module-level memos have one place to
+    register.
+    """
+    clear_slicing_caches()

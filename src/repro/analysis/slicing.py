@@ -41,6 +41,16 @@ _use_index_cache: "weakref.WeakKeyDictionary[Function, dict]" = \
     weakref.WeakKeyDictionary()
 
 
+def clear_slicing_caches() -> None:
+    """Drop every memoised def-use index.
+
+    Weak keys already drop entries with their functions; this is for
+    callers that mutate a *live* function after analysing it (tests),
+    where the stale index would otherwise survive.
+    """
+    _use_index_cache.clear()
+
+
 def _use_index(func: Function) -> dict[Value, list[Value]]:
     """Map each value to the instructions deriving a value from it
     under the :func:`forward_derived` rules."""

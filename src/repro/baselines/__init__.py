@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..analysis.andersen import run_andersen
 from ..analysis.resources import ResourceAnalysis
+from ..cache import active_store, build_digest
 from ..hw.board import Board
 from ..ir.module import Module
 from ..ir.verifier import verify_module
@@ -36,12 +37,31 @@ class AcesArtifacts:
     compartments: list[Compartment]
     assignment: RegionAssignment
     image: AcesImage
+    # Content-addressed cache bookkeeping (see repro.cache).
+    cache_digest: str = ""
+    cache_hit: bool = False
 
 
 def build_aces(module: Module, board: Board, strategy: str,
                *, verify: bool = True, stack_size: int = 16 * 1024,
                heap_size: int = 8 * 1024) -> AcesArtifacts:
-    """Run the ACES pipeline under one of the three strategies."""
+    """Run the ACES pipeline under one of the three strategies.
+
+    Cached through the content-addressed artifact store exactly like
+    :func:`repro.pipeline.build_opec`; a hit returns fresh copies of a
+    previous build's objects.
+    """
+    store = active_store()
+    digest = ""
+    if store is not None:
+        digest = build_digest(f"aces:{strategy}", module, board,
+                              stack_size=stack_size, heap_size=heap_size,
+                              verify=verify)
+        cached = store.get(digest)
+        if cached is not None:
+            cached.cache_digest = digest
+            cached.cache_hit = True
+            return cached
     if verify:
         verify_module(module)
     andersen = run_andersen(module)
@@ -51,10 +71,14 @@ def build_aces(module: Module, board: Board, strategy: str,
     image = build_aces_image(module, board, compartments, assignment,
                              strategy, stack_size=stack_size,
                              heap_size=heap_size)
-    return AcesArtifacts(
+    artifacts = AcesArtifacts(
         module=module, board=board, strategy=strategy,
         compartments=compartments, assignment=assignment, image=image,
+        cache_digest=digest,
     )
+    if store is not None:
+        store.put(digest, artifacts)
+    return artifacts
 
 
 __all__ = ["AcesArtifacts", "build_aces", "AcesImage", "AcesRuntime"]

@@ -1,0 +1,153 @@
+"""Stable structural digests for the artifact cache.
+
+A cache key must be identical across processes, ``PYTHONHASHSEED``
+values, and machines, and must change whenever anything that could
+change the produced artifact changes.  Three ingredients:
+
+* the **module digest** — SHA-256 of the canonical ``.oir`` printer
+  form (:func:`repro.ir.printer.print_module`), which captures every
+  semantic property of the firmware (types, globals with initializers
+  and sanitize ranges, function flags, instruction streams);
+* the **configuration digest** — board profile, operation specs /
+  ACES strategy, stack/heap sizes, build flavour;
+* the **pipeline fingerprint** — SHA-256 over every ``repro`` source
+  file plus :data:`CACHE_SCHEMA_VERSION`, so *any* change to a
+  compiler, interpreter, or runtime stage invalidates every entry
+  without anyone having to remember to bump a constant.  The schema
+  version exists for the rare semantic change that lives outside the
+  tree (e.g. a pickle-format decision in this package).
+
+Digests are plain hex strings; everything is hashed through a single
+``sha256`` so entries can be verified on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..hw.board import Board
+from ..ir.module import Module
+from ..ir.printer import print_module
+from ..partition.operations import OperationSpec
+
+# Bump when the on-disk entry format or digest recipe itself changes
+# semantics in a way the source fingerprint cannot see.
+CACHE_SCHEMA_VERSION = 1
+
+_fingerprint_memo: dict[int, str] = {}
+
+
+def clear_digest_memos() -> None:
+    """Drop memoised fingerprint state (tests monkeypatch the schema
+    version; regular code never needs this)."""
+    _fingerprint_memo.clear()
+
+
+def pipeline_fingerprint() -> str:
+    """Hash of every ``repro`` source file + the schema version.
+
+    Computed once per process (the tree does not change under a
+    running build); memoised per schema version so tests can
+    monkeypatch :data:`CACHE_SCHEMA_VERSION` to simulate a semantic
+    pipeline change.
+    """
+    version = CACHE_SCHEMA_VERSION
+    cached = _fingerprint_memo.get(version)
+    if cached is not None:
+        return cached
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    hasher = hashlib.sha256()
+    hasher.update(f"schema={version}\n".encode())
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        hasher.update(str(path.relative_to(root)).encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    fingerprint = hasher.hexdigest()
+    _fingerprint_memo[version] = fingerprint
+    return fingerprint
+
+
+def module_digest(module: Module) -> str:
+    """SHA-256 of the canonical printer form of ``module``."""
+    return hashlib.sha256(print_module(module).encode()).hexdigest()
+
+
+def board_canonical(board: Board) -> str:
+    peripherals = sorted(
+        board.peripherals.values(), key=lambda p: (p.base, p.name))
+    body = ";".join(
+        f"{p.name}@{p.base:#x}+{p.size:#x}{'!' if p.core else ''}"
+        for p in peripherals)
+    return (f"{board.name} flash={board.flash_base:#x}+{board.flash_size:#x} "
+            f"sram={board.sram_base:#x}+{board.sram_size:#x} [{body}]")
+
+
+def specs_canonical(specs: Sequence[OperationSpec]) -> str:
+    # Spec order is semantic: it fixes operation indexes.
+    return "|".join(
+        f"{spec.entry}{{{','.join(f'{k}={v}' for k, v in sorted(spec.stack_info.items()))}}}"
+        for spec in specs)
+
+
+def build_digest(
+    flavour: str,
+    module: Module,
+    board: Board,
+    *,
+    specs: Sequence[OperationSpec] = (),
+    stack_size: int = 0,
+    heap_size: int = 0,
+    verify: bool = True,
+) -> str:
+    """Content key for one whole-image build.
+
+    ``flavour`` is ``"opec"``, ``"vanilla"``, or ``"aces:<strategy>"``.
+    """
+    hasher = hashlib.sha256()
+    for part in (
+        "build", pipeline_fingerprint(), flavour,
+        f"stack={stack_size} heap={heap_size} verify={int(verify)}",
+        board_canonical(board), specs_canonical(specs),
+        module_digest(module),
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def run_digest(
+    build_key: str,
+    app_name: str,
+    profile: str,
+    *,
+    entry: str = "main",
+    max_instructions: int = 0,
+) -> str:
+    """Content key for one simulated run of a built image.
+
+    The host-side stimuli (``Application.setup``) are a function of
+    ``(app_name, profile)`` and of the source tree, which the build
+    key's pipeline fingerprint already covers.
+    """
+    text = (f"run\0{build_key}\0{app_name}\0{profile}\0{entry}\0"
+            f"{max_instructions}")
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def trace_digest(
+    build_key: str,
+    app_name: str,
+    profile: str,
+    entries: Sequence[str],
+    *,
+    max_instructions: int = 0,
+) -> str:
+    """Content key for a §6.4 task trace of the vanilla build."""
+    text = (f"trace\0{build_key}\0{app_name}\0{profile}\0"
+            f"{','.join(entries)}\0{max_instructions}")
+    return hashlib.sha256(text.encode()).hexdigest()

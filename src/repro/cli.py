@@ -8,6 +8,8 @@ Usage (``python -m repro.cli <command>``):
 * ``run APP [--build vanilla|opec|ACES1|ACES2|ACES3]`` — run a build
   on the simulator and report cycles/overhead;
 * ``eval TARGET`` — regenerate a table/figure (or ``all``);
+* ``cache stats|clear|verify|fingerprint`` — inspect or maintain the
+  content-addressed artifact cache (see ``REPRO_CACHE``);
 * ``attack`` — the PinLock §6.1 case-study demo.
 """
 
@@ -124,6 +126,36 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from . import cache
+
+    if args.action == "fingerprint":
+        print(cache.pipeline_fingerprint())
+        return 0
+    store = cache.active_store()
+    if store is None:
+        print("artifact cache disabled (REPRO_CACHE=off)")
+        return 1
+    if args.action == "stats":
+        entries = store.entry_count()
+        size = store.total_bytes()
+        print(f"root:        {store.root}")
+        print(f"fingerprint: {store.fingerprint}")
+        print(f"entries:     {entries}")
+        print(f"bytes:       {size} ({size / 1024:.1f} KiB)")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    elif args.action == "verify":
+        ok, bad = store.verify(prune=args.prune)
+        for path in bad:
+            state = "pruned" if args.prune else "corrupt"
+            print(f"{state}: {path}")
+        print(f"{ok} entries ok, {len(bad)} corrupt in {store.root}")
+        return 1 if bad and not args.prune else 0
+    return 0
+
+
 def _cmd_attack(_args) -> int:
     import runpy
     from pathlib import Path
@@ -183,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["quick", "paper"])
     prof.add_argument("--top", type=int, default=15)
     prof.set_defaults(func=_cmd_profile)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or maintain the artifact cache")
+    cache_cmd.add_argument(
+        "action", choices=["stats", "clear", "verify", "fingerprint"])
+    cache_cmd.add_argument(
+        "--prune", action="store_true",
+        help="with verify: delete corrupt entries")
+    cache_cmd.set_defaults(func=_cmd_cache)
 
     sub.add_parser("attack", help="PinLock case-study demo").set_defaults(
         func=_cmd_attack)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import cache
 from ..apps import ACES_APPS
 from ..baselines.aces.compartments import ALL_STRATEGIES
 from ..image.layout import build_vanilla_image
@@ -23,32 +24,60 @@ from .report import render_table
 from .tracing import TaskTrace, trace_tasks
 from .workloads import aces_artifacts, build_app, opec_artifacts
 
+
+def _rebase_globals(variables: set[GlobalVariable],
+                    module) -> set[GlobalVariable]:
+    """The same (by name) global variables, as ``module``'s objects."""
+    return {module.get_global(v.name) for v in variables}
+
 # ET depends only on *which* functions each task executes — not on how
 # many times the workload repeats them — so the figure runs entirely on
-# the downscaled profile.  Crucially, the traced run, the OPEC
-# partition, and the ACES compartments must all see the SAME module
-# instance: resource sets are keyed by object identity.
+# the downscaled profile.  Resource sets are keyed by object identity
+# *within* each build's artifacts; the trace records function names,
+# and all cross-build joins below resolve names inside the build being
+# analysed, so cache-rehydrated artifacts (fresh module copies) yield
+# the same values as a cold in-process build.
 PROFILE = "quick"
 
 _trace_cache: dict[str, TaskTrace] = {}
 
 
 def task_trace(name: str) -> TaskTrace:
+    """The §6.4 executed-function trace of ``name``'s vanilla build.
+
+    Memoised in-process and persisted in the artifact store: the trace
+    is a pure function of the firmware, the stimuli, and the simulator,
+    all of which the trace digest covers.
+    """
     if name not in _trace_cache:
         app = build_app(name, profile=PROFILE)
-        image = build_vanilla_image(app.module, app.board)
         entries = [spec.entry for spec in app.specs]
+        store = cache.active_store()
+        digest = ""
+        if store is not None:
+            digest = cache.trace_digest(
+                cache.build_digest("vanilla", app.module, app.board),
+                name, PROFILE, entries,
+                max_instructions=app.max_instructions)
+            cached = store.get(digest)
+            if cached is not None:
+                _trace_cache[name] = cached
+                return cached
+        image = build_vanilla_image(app.module, app.board)
         trace, _result = trace_tasks(image, entries, setup=app.setup,
                                      max_instructions=app.max_instructions)
+        if store is not None:
+            store.put(digest, trace)
         _trace_cache[name] = trace
     return _trace_cache[name]
 
 
 def _used_globals(name: str, task: str) -> set[GlobalVariable]:
-    """Globals of the functions the task actually executed."""
+    """Globals of the functions the task actually executed, resolved
+    in the OPEC artifacts' module."""
     artifacts = opec_artifacts(name, profile=PROFILE)
     used: set[GlobalVariable] = set()
-    for func in task_trace(name).functions_of(task):
+    for func in task_trace(name).functions_of(task, artifacts.module):
         used |= artifacts.resources.function_resources(func).globals_all
     return {v for v in used if not v.is_const}
 
@@ -77,7 +106,7 @@ def compute_app(name: str) -> Figure11Data:
         artifacts = aces_artifacts(name, strategy, profile=PROFILE)
         values = []
         for task in tasks:
-            executed = task_trace(name).functions_of(task)
+            executed = task_trace(name).functions_of(task, artifacts.module)
             involved = {
                 artifacts.image.compartment_for(f) for f in executed
             } - {None}
@@ -87,6 +116,10 @@ def compute_app(name: str) -> Figure11Data:
                     v for v in compartment.resources.globals_all
                     if not v.is_const
                 }
+            # ET intersects by identity; the ACES compartments may be a
+            # different module copy than the OPEC artifacts (cache
+            # rehydration), so rebase "needed" into the OPEC module.
+            needed = _rebase_globals(needed, opec.module)
             values.append(et_value(_used_globals(name, task), needed))
         data.et[strategy] = values
     return data

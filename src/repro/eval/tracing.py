@@ -6,6 +6,12 @@ callbacks provide the same information without the debugger.  A *task
 window* opens when a task entry function is entered from outside any
 window and closes when that activation returns; every function entered
 while the window is open belongs to the task.
+
+Traces record function *names*, not :class:`Function` objects: names
+are stable across module copies (the artifact cache rehydrates builds
+as fresh objects) and across processes, so a trace taken against one
+build can be joined with artifacts of any build of the same firmware
+via :meth:`TaskTrace.functions_of`.
 """
 
 from __future__ import annotations
@@ -23,11 +29,23 @@ from ..pipeline import RunResult
 class TaskTrace:
     """Executed-function sets per task (unioned over invocations)."""
 
-    executed: dict[str, set[Function]] = field(default_factory=dict)
+    executed: dict[str, set[str]] = field(default_factory=dict)
     invocations: dict[str, int] = field(default_factory=dict)
 
-    def functions_of(self, task: str) -> set[Function]:
-        return self.executed.get(task, set())
+    def names_of(self, task: str) -> set[str]:
+        """The names of the functions the task executed."""
+        return set(self.executed.get(task, set()))
+
+    def functions_of(self, task: str, module) -> set[Function]:
+        """The task's executed functions, resolved *in* ``module``.
+
+        Functions traced under one build are looked up by name in
+        whichever module the caller is analysing, so identity-keyed
+        queries (resource sets, compartment maps) stay valid.
+        """
+        return {module.functions[name]
+                for name in self.executed.get(task, set())
+                if name in module.functions}
 
 
 class TaskTracer:
@@ -53,7 +71,8 @@ class TaskTracer:
                 self.trace.invocations.get(func.name, 0) + 1
             )
         if self._window_task is not None:
-            self.trace.executed.setdefault(self._window_task, set()).add(func)
+            self.trace.executed.setdefault(
+                self._window_task, set()).add(func.name)
 
     def _on_exit(self, func: Function) -> None:
         if (self._window_task is not None

@@ -7,8 +7,12 @@ Two profiles:
 * ``quick`` — scaled-down rounds for fast test runs.
 
 Set ``REPRO_PROFILE=quick`` in the environment to downscale everything.
-Builds and runs are memoised per process: several table/figure
-generators share the same artifacts.
+Builds and runs are memoised per process (several table/figure
+generators share the same artifacts) *and* persisted in the
+content-addressed artifact store (:mod:`repro.cache`), so repeated
+evaluations — and every ``REPRO_JOBS`` worker — reuse whole-image
+builds and completed simulation results across processes.  Set
+``REPRO_CACHE=off`` to bypass the store.
 
 :func:`compute_all_rows` is the evaluation fan-out point: it computes
 every table/figure row of §6, either serially in-process or — with
@@ -22,12 +26,18 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from .. import cache
 from ..apps import ACES_APPS, ALL_APPS, Application
 from ..apps import coremark, pinlock
 from ..baselines import AcesArtifacts, build_aces
 from ..pipeline import BuildArtifacts, RunResult, build_opec, build_vanilla, run_image
 
 APP_NAMES = tuple(ALL_APPS)
+
+#: The workload profiles the harness understands.  ``build_app``
+#: validates against this set so an ``REPRO_PROFILE`` typo fails loudly
+#: instead of silently handing PinLock/CoreMark the quick rounds.
+KNOWN_PROFILES = ("paper", "quick")
 
 
 def active_profile() -> str:
@@ -53,14 +63,28 @@ _run_cache: dict[tuple[str, str, str], RunResult] = {}
 
 
 def clear_caches() -> None:
+    """Reset every in-process memo the harness (and the analyses
+    underneath it) keeps, so tests that mutate modules cannot observe
+    stale entries.  The on-disk artifact store is content-addressed —
+    a mutated module simply digests differently — so it is *not*
+    cleared here; use ``repro cache clear`` for that."""
+    from ..analysis import clear_analysis_caches
+    from . import figure11
+
     _app_cache.clear()
     _opec_cache.clear()
     _aces_cache.clear()
     _run_cache.clear()
+    clear_analysis_caches()
+    figure11._trace_cache.clear()
 
 
 def build_app(name: str, profile: Optional[str] = None) -> Application:
     profile = profile or active_profile()
+    if profile not in KNOWN_PROFILES:
+        raise ValueError(
+            f"unknown workload profile {profile!r} (REPRO_PROFILE): "
+            f"expected one of {', '.join(KNOWN_PROFILES)}")
     key = (name, profile)
     if key not in _app_cache:
         if name == "PinLock":
@@ -93,14 +117,45 @@ def aces_artifacts(name: str, strategy: str,
     return _aces_cache[key]
 
 
+def _run_digest(app: Application, name: str, kind: str,
+                profile: str) -> str:
+    """Content key for one simulated run of one build flavour."""
+    if kind == "opec":
+        flavour_key = cache.build_digest("opec", app.module, app.board,
+                                         specs=app.specs)
+    elif kind == "vanilla":
+        flavour_key = cache.build_digest("vanilla", app.module, app.board)
+    else:
+        flavour_key = cache.build_digest(f"aces:{kind}", app.module,
+                                         app.board)
+    return cache.run_digest(flavour_key, name, profile,
+                            max_instructions=app.max_instructions)
+
+
 def run_build(name: str, kind: str,
               profile: Optional[str] = None) -> RunResult:
-    """Run one build flavour ("vanilla", "opec", "ACES1/2/3")."""
+    """Run one build flavour ("vanilla", "opec", "ACES1/2/3").
+
+    Simulated runs are deterministic — same image, same host stimuli,
+    same cycle count — so completed :class:`RunResult` objects are
+    persisted in the artifact store alongside the builds.  A warm hit
+    skips the simulation entirely; the application's ``verify_run``
+    checks are re-applied to the rehydrated machine either way.
+    """
     profile = profile or active_profile()
     key = (name, kind, profile)
     if key in _run_cache:
         return _run_cache[key]
     app = build_app(name, profile)
+    store = cache.active_store()
+    digest = ""
+    if store is not None:
+        digest = _run_digest(app, name, kind, profile)
+        cached = store.get(digest)
+        if cached is not None:
+            app.verify_run(cached.machine, cached.halt_code)
+            _run_cache[key] = cached
+            return cached
     if kind == "vanilla":
         image = build_vanilla(app.module, app.board)
     elif kind == "opec":
@@ -110,6 +165,8 @@ def run_build(name: str, kind: str,
     result = run_image(image, setup=app.setup,
                        max_instructions=app.max_instructions)
     app.verify_run(result.machine, result.halt_code)
+    if store is not None:
+        store.put(digest, result)
     _run_cache[key] = result
     return result
 
@@ -135,12 +192,17 @@ def _compute_app_rows(name: str) -> dict:
     return rows
 
 
-def _app_rows_worker(job: tuple[str, str]) -> tuple[str, dict]:
+def _app_rows_worker(job: tuple[str, str]) -> tuple[str, dict, dict]:
     """Process-pool entry point: pin the worker's profile, then compute
-    one app's rows (each worker warms only its own caches)."""
+    one app's rows.  Workers share the parent's on-disk artifact store
+    (``REPRO_CACHE`` is inherited), so only the first process to need a
+    build or run pays for it; the returned counter dict lets the parent
+    report aggregate cache traffic."""
     name, profile = job
     os.environ["REPRO_PROFILE"] = profile
-    return name, _compute_app_rows(name)
+    before = cache.counters_snapshot()
+    rows = _compute_app_rows(name)
+    return name, rows, cache.counters_delta(before)
 
 
 def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
@@ -150,19 +212,31 @@ def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
     built and run concurrently in a process pool; the per-app rows are
     then merged in fixed ``APP_NAMES`` order, so the result — and
     everything rendered from it — is identical to the serial path.
+
+    The returned mapping carries one extra, non-table key, ``"cache"``:
+    aggregate artifact-cache hit/miss/bytes counters summed over this
+    call across every worker process.  Renderers ignore it; it is
+    diagnostic (cache traffic depends on what previous runs stored and
+    is *not* part of the determinism contract).
     """
     from . import figure9, table1
 
     jobs = repro_jobs() if jobs is None else max(1, jobs)
+    counters = cache.CacheCounters()
+    before = cache.counters_snapshot()
     if jobs > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         profile = active_profile()
+        per_app: dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=min(jobs, len(APP_NAMES))) as pool:
-            per_app = dict(pool.map(
-                _app_rows_worker, [(name, profile) for name in APP_NAMES]))
+            for name, rows, worker_counters in pool.map(
+                    _app_rows_worker, [(name, profile) for name in APP_NAMES]):
+                per_app[name] = rows
+                counters.merge(worker_counters)
     else:
         per_app = {name: _compute_app_rows(name) for name in APP_NAMES}
+    counters.merge(cache.counters_delta(before))
     return {
         "table1": table1.finalize_rows(
             [per_app[name]["table1"] for name in APP_NAMES]),
@@ -173,4 +247,5 @@ def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
         "figure10": [per_app[name]["figure10"] for name in ACES_APPS],
         "figure11": [per_app[name]["figure11"] for name in ACES_APPS],
         "table3": [per_app[name]["table3"] for name in APP_NAMES],
+        "cache": counters.as_dict(),
     }

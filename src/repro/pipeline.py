@@ -15,6 +15,7 @@ from typing import Callable, Optional, Sequence
 from .analysis.andersen import AndersenResult, run_andersen
 from .analysis.callgraph import CallGraph, build_call_graph
 from .analysis.resources import ResourceAnalysis
+from .cache import active_store, build_digest
 from .hw.board import Board
 from .hw.machine import Machine
 from .image.layout import (
@@ -48,8 +49,13 @@ class BuildArtifacts:
     image: OpecImage
     # Host wall-clock seconds per compiler stage (verify / andersen /
     # callgraph / resources / partition / policy / image) — diagnostic
-    # only, never part of the determinism contract.
+    # only, never part of the determinism contract.  A cache hit
+    # replaces the map with a single "cache_load" entry.
     stage_times: dict[str, float] = field(default_factory=dict)
+    # Content-addressed cache bookkeeping: the structural digest this
+    # build is stored under, and whether it was served from the store.
+    cache_digest: str = ""
+    cache_hit: bool = False
 
 
 def build_opec(
@@ -61,7 +67,29 @@ def build_opec(
     heap_size: int = DEFAULT_HEAP_SIZE,
     verify: bool = True,
 ) -> BuildArtifacts:
-    """Run the full OPEC-Compiler pipeline (Figure 5, stage I)."""
+    """Run the full OPEC-Compiler pipeline (Figure 5, stage I).
+
+    Consults the content-addressed artifact store first: a hit returns
+    a deep copy of a previous build of the same (module, board, specs,
+    flavour, pipeline version) — byte-identical images and analysis
+    results without re-running any stage.  Note that a hit's objects
+    are *fresh* copies: ``artifacts.module`` is equal to, but not the
+    same object as, the ``module`` argument.
+    """
+    store = active_store()
+    digest = ""
+    if store is not None:
+        start = time.perf_counter()
+        digest = build_digest("opec", module, board, specs=specs,
+                              stack_size=stack_size, heap_size=heap_size,
+                              verify=verify)
+        cached = store.get(digest)
+        if cached is not None:
+            cached.stage_times = {"cache_load": time.perf_counter() - start}
+            cached.cache_digest = digest
+            cached.cache_hit = True
+            return cached
+
     stage_times: dict[str, float] = {}
 
     def timed(stage: str, thunk):
@@ -84,22 +112,37 @@ def build_opec(
     policy = timed("policy", lambda: build_policy(module, operations))
     image = timed("image", lambda: build_opec_image(
         module, board, policy, stack_size=stack_size, heap_size=heap_size))
-    return BuildArtifacts(
+    artifacts = BuildArtifacts(
         module=module, board=board, andersen=andersen, callgraph=graph,
         resources=resources, operations=operations, policy=policy,
-        image=image, stage_times=stage_times,
+        image=image, stage_times=stage_times, cache_digest=digest,
     )
+    if store is not None:
+        store.put(digest, artifacts)
+    return artifacts
 
 
 def build_vanilla(module: Module, board: Board, *,
                   stack_size: int = DEFAULT_STACK_SIZE,
                   heap_size: int = DEFAULT_HEAP_SIZE,
                   verify: bool = True) -> VanillaImage:
-    """The unprotected baseline build."""
+    """The unprotected baseline build (cached like ``build_opec``)."""
+    store = active_store()
+    digest = ""
+    if store is not None:
+        digest = build_digest("vanilla", module, board,
+                              stack_size=stack_size, heap_size=heap_size,
+                              verify=verify)
+        cached = store.get(digest)
+        if cached is not None:
+            return cached
     if verify:
         verify_module(module)
-    return build_vanilla_image(module, board,
-                               stack_size=stack_size, heap_size=heap_size)
+    image = build_vanilla_image(module, board,
+                                stack_size=stack_size, heap_size=heap_size)
+    if store is not None:
+        store.put(digest, image)
+    return image
 
 
 @dataclass

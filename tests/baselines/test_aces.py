@@ -150,7 +150,7 @@ class TestAcesRuntime:
         artifacts = build_aces(module, board, "ACES2")
         # counter is accessed by a.c, b.c, and main.c: it lands in a
         # region both tasks can write.
-        counter = module.get_global("counter")
+        counter = artifacts.module.get_global("counter")
         by_name = {c.name: c for c in artifacts.compartments}
         accessible_b = artifacts.assignment.accessible_vars(by_name["b.c"])
         assert counter in accessible_b
@@ -158,7 +158,7 @@ class TestAcesRuntime:
     def test_out_of_region_write_aborts(self, board):
         module = build_mini_module()
         probe = build_aces(module, board, "ACES2")
-        secret = module.get_global("secret")
+        secret = probe.module.get_global("secret")
         leaked = probe.image.global_address(secret)
 
         attack = build_mini_module()

@@ -1,0 +1,111 @@
+"""Digest stability and invalidation for the artifact cache."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cache import digest as digest_mod
+from repro.cache.digest import (
+    build_digest,
+    module_digest,
+    pipeline_fingerprint,
+    run_digest,
+    trace_digest,
+)
+from repro.eval.workloads import build_app
+from repro.hw import stm32f4_discovery
+from repro.partition import OperationSpec
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_digest_stable_across_hash_seeds_and_processes():
+    """The cache key must not depend on ``PYTHONHASHSEED`` — set
+    ordering, dict ordering, and object ids all vary with it, and any
+    leak into the digest silently turns every warm run cold."""
+    here = build_digest("opec", build_mini_module(), stm32f4_discovery(),
+                        specs=MINI_SPECS)
+    script = (
+        "from tests.conftest import MINI_SPECS, build_mini_module\n"
+        "from repro.cache.digest import build_digest\n"
+        "from repro.hw import stm32f4_discovery\n"
+        "print(build_digest('opec', build_mini_module(),"
+        " stm32f4_discovery(), specs=MINI_SPECS))\n"
+    )
+    for seed in ("0", "1", "4242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO / "src"), str(REPO)])
+        proc = subprocess.run(
+            [sys.executable, "-c", script], cwd=REPO, env=env,
+            capture_output=True, text=True, check=True)
+        assert proc.stdout.strip() == here, f"seed {seed} diverged"
+
+
+def test_module_digest_tracks_semantics():
+    a = module_digest(build_mini_module())
+    assert a == module_digest(build_mini_module())
+    assert a != module_digest(build_mini_module(shared_value=8))
+
+
+def test_build_digest_separates_flavours_and_configs():
+    module = build_mini_module()
+    board = stm32f4_discovery()
+    base = build_digest("opec", module, board, specs=MINI_SPECS)
+    assert base != build_digest("vanilla", module, board)
+    assert base != build_digest("aces:ACES2", module, board)
+    assert base != build_digest("opec", module, board,
+                                specs=list(reversed(MINI_SPECS)))
+    assert base != build_digest("opec", module, board, specs=MINI_SPECS,
+                                stack_size=1 << 14)
+    assert base != build_digest(
+        "opec", module, board,
+        specs=[OperationSpec("task_a"), OperationSpec("task_b")][:1])
+
+
+def test_run_and_trace_digests_cover_their_inputs():
+    module = build_mini_module()
+    board = stm32f4_discovery()
+    key = build_digest("vanilla", module, board)
+    run = run_digest(key, "Mini", "quick")
+    assert run != run_digest(key, "Mini", "paper")
+    assert run != run_digest(key, "Other", "quick")
+    assert run != run_digest(key, "Mini", "quick", max_instructions=7)
+    trace = trace_digest(key, "Mini", "quick", ["task_a"])
+    assert trace != run
+    assert trace != trace_digest(key, "Mini", "quick", ["task_b"])
+
+
+def test_schema_version_changes_the_fingerprint(monkeypatch):
+    """Bumping ``CACHE_SCHEMA_VERSION`` must invalidate every entry —
+    the fingerprint partitions the store directory layout."""
+    before = pipeline_fingerprint()
+    monkeypatch.setattr(digest_mod, "CACHE_SCHEMA_VERSION",
+                        digest_mod.CACHE_SCHEMA_VERSION + 1)
+    bumped = pipeline_fingerprint()
+    assert bumped != before
+    monkeypatch.undo()
+    assert pipeline_fingerprint() == before  # memo keyed per version
+
+
+def test_fingerprint_feeds_build_digest(monkeypatch):
+    module = build_mini_module()
+    board = stm32f4_discovery()
+    before = build_digest("vanilla", module, board)
+    monkeypatch.setattr(digest_mod, "CACHE_SCHEMA_VERSION",
+                        digest_mod.CACHE_SCHEMA_VERSION + 1)
+    assert build_digest("vanilla", module, board) != before
+
+
+def test_real_app_digest_is_reproducible():
+    app = build_app("PinLock", profile="quick")
+    rebuilt = build_app("CoreMark", profile="quick")
+    a = build_digest("opec", app.module, app.board, specs=app.specs)
+    b = build_digest("opec", app.module, app.board, specs=app.specs)
+    assert a == b
+    assert a != build_digest("opec", rebuilt.module, rebuilt.board,
+                             specs=rebuilt.specs)

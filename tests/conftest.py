@@ -14,6 +14,21 @@ from repro.hw import Machine, stm32f4_discovery
 from repro.partition import OperationSpec
 
 
+@pytest.fixture(scope="session", autouse=True)
+def session_cache_dir(tmp_path_factory):
+    """Point the artifact cache at a session-scoped directory.
+
+    Every test in the session shares one store — expensive app builds
+    and runs are paid for once — while the repository's ``.repro-cache``
+    stays untouched.  An externally provided ``REPRO_CACHE`` (CI's
+    persisted directory, or ``off``) takes precedence.
+    """
+    if "REPRO_CACHE" not in os.environ:
+        os.environ["REPRO_CACHE"] = str(
+            tmp_path_factory.mktemp("repro-cache"))
+    yield os.environ["REPRO_CACHE"]
+
+
 def build_mini_module(*, shared_value: int = 7) -> ir.Module:
     """Two tasks sharing a counter; task_a owns a secret, task_b a blob.
 

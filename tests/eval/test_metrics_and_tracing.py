@@ -72,7 +72,7 @@ class TestTaskTracer:
         image = build_vanilla_image(module, board)
         trace, result = trace_tasks(image, ["task_a", "task_b"])
         assert result.halt_code == 14
-        assert {f.name for f in trace.functions_of("task_a")} == {"task_a"}
+        assert trace.names_of("task_a") == {"task_a"}
         assert trace.invocations["task_a"] == 2
         assert trace.invocations["task_b"] == 1
 
@@ -88,12 +88,11 @@ class TestTaskTracer:
         mb.halt(0)
         image = build_vanilla_image(module, board)
         trace, _ = trace_tasks(image, ["task"])
-        assert {f.name for f in trace.functions_of("task")} == {
-            "task", "helper"}
+        assert trace.names_of("task") == {"task", "helper"}
 
     def test_functions_outside_windows_not_recorded(self, board):
         module = build_mini_module()
         image = build_vanilla_image(module, board)
         trace, _ = trace_tasks(image, ["task_a"])
-        for funcs in trace.executed.values():
-            assert all(f.name != "main" for f in funcs)
+        for names in trace.executed.values():
+            assert "main" not in names

@@ -1,5 +1,7 @@
 """Tests for workload profiles and build/run caching."""
 
+import pytest
+
 from repro.eval import workloads
 
 
@@ -21,12 +23,28 @@ def test_builds_are_cached_per_profile():
     assert artifacts_a is artifacts_b
 
 
-def test_artifacts_share_the_app_module():
-    app = workloads.build_app("PinLock", profile="quick")
+def test_artifacts_are_internally_consistent():
+    """With the content-addressed store, a warm build's objects are
+    fresh copies rather than the app's own module — but every object
+    *inside* one artifact bundle must reference the same module."""
     artifacts = workloads.opec_artifacts("PinLock", profile="quick")
-    assert artifacts.module is app.module
+    assert artifacts.image.module is artifacts.module
+    for op in artifacts.operations:
+        for func in op.functions:
+            assert artifacts.module.functions[func.name] is func
     aces = workloads.aces_artifacts("PinLock", "ACES2", profile="quick")
-    assert aces.module is app.module
+    assert aces.image.module is aces.module
+    for compartment in aces.compartments:
+        for func in compartment.functions:
+            assert aces.module.functions[func.name] is func
+
+
+def test_build_app_rejects_unknown_profile(monkeypatch):
+    with pytest.raises(ValueError, match="unknown workload profile"):
+        workloads.build_app("PinLock", profile="fast")
+    monkeypatch.setenv("REPRO_PROFILE", "bogus")
+    with pytest.raises(ValueError, match="bogus"):
+        workloads.build_app("CoreMark")
 
 
 def test_run_cache_returns_same_result():
@@ -65,7 +83,9 @@ def test_repro_jobs_env(monkeypatch):
 def test_compute_all_rows_sections_and_order():
     rows = workloads.compute_all_rows(jobs=1)
     assert set(rows) == {"table1", "figure9", "table2", "figure10",
-                         "figure11", "table3"}
+                         "figure11", "table3", "cache"}
+    assert set(rows["cache"]) == {"hits", "misses", "stores", "corrupt",
+                                  "bytes_read", "bytes_written"}
     assert [r.app for r in rows["table1"]] == \
         [*workloads.APP_NAMES, "Average"]
     assert [r.app for r in rows["table3"]] == list(workloads.APP_NAMES)
@@ -77,4 +97,9 @@ def test_compute_all_rows_parallel_merge_identical():
     dataclasses compare by value, floats included)."""
     serial = workloads.compute_all_rows(jobs=1)
     parallel = workloads.compute_all_rows(jobs=2)
+    # Cache traffic legitimately differs between the two paths (the
+    # serial pass warms the in-process memos the parallel workers
+    # cannot see); every *table* must merge identically.
+    serial.pop("cache")
+    parallel.pop("cache")
     assert serial == parallel

@@ -201,4 +201,4 @@ class TestMetadataModel:
         module = build_mini_module()
         artifacts = build_opec(module, board, MINI_SPECS)
         # main calls task_a twice and task_b once -> 3 sites * 8 bytes.
-        assert instrumentation_size(module, artifacts.policy) == 24
+        assert instrumentation_size(artifacts.module, artifacts.policy) == 24

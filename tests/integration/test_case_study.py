@@ -77,7 +77,7 @@ def test_attack_blocked_by_opec():
 def test_attack_on_unlock_shadow_also_blocked():
     app = pinlock.build(rounds=1, vulnerable=True)
     artifacts = build_opec(app.module, app.board, app.specs)
-    key = app.module.get_global("KEY")
+    key = artifacts.module.get_global("KEY")
     unlock_op = artifacts.policy.operation_by_entry("Unlock_Task")
     shadow_address = artifacts.image.shadow_address(unlock_op, key)
     with pytest.raises(SecurityAbort, match="outside its policy"):
@@ -90,7 +90,7 @@ def test_key_not_in_lock_task_section():
     operation data section holds no copy of KEY."""
     app = pinlock.build(rounds=1, vulnerable=True)
     artifacts = build_opec(app.module, app.board, app.specs)
-    key = app.module.get_global("KEY")
+    key = artifacts.module.get_global("KEY")
     lock_op = artifacts.policy.operation_by_entry("Lock_Task")
     assert key not in artifacts.policy.section_vars(lock_op)
     unlock_op = artifacts.policy.operation_by_entry("Unlock_Task")

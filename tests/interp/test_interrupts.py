@@ -152,7 +152,7 @@ class TestOpecInteraction:
         result = run_image(artifacts.image, setup=app.setup,
                            max_instructions=app.max_instructions)
         app.verify_run(result.machine, result.halt_code)
-        uw_tick = app.module.get_global("uwTick")
+        uw_tick = artifacts.module.get_global("uwTick")
         address = artifacts.image.global_address(uw_tick)
         # The ISR ran (privileged) while unprivileged operations executed.
         assert result.machine.read_direct(address, 4) > 0

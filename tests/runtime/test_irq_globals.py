@@ -60,7 +60,7 @@ class TestHandlerGlobalView:
         # observe the public original.
         assert result.halt_code == PUBLIC_INIT + 1
         # Sanity: the shadow really was dirty and written back on exit.
-        shared = module.get_global("shared")
+        shared = artifacts.module.get_global("shared")
         public = artifacts.image.public_addresses[shared]
         assert result.machine.read_direct(public, 4) == SHADOW_SENTINEL
 
@@ -75,6 +75,6 @@ class TestHandlerGlobalView:
         # had the handler polluted the cache with the public address,
         # the operation's store would have hit the public copy directly
         # and been clobbered by a stale write-back instead.
-        shared = module.get_global("shared")
+        shared = artifacts.module.get_global("shared")
         public = artifacts.image.public_addresses[shared]
         assert result.machine.read_direct(public, 4) == SHADOW_SENTINEL

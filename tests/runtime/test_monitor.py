@@ -70,7 +70,7 @@ class TestIsolation:
         # Rebuild to find the address in the vanilla layout.
         module = self._attack_module(0)
         image = build_vanilla(module, board)
-        leaked = image.global_address(module.get_global("secret"))
+        leaked = image.global_address(image.module.get_global("secret"))
         armed = self._attack_module(leaked)
         result = run_image(build_vanilla(armed, board))
         assert result.halt_code == 7  # attack silently corrupted secret

@@ -1,15 +1,22 @@
 #!/usr/bin/env python
 """Scripted determinism check for the committed evaluation outputs.
 
-Re-runs the full evaluation export (``repro.eval.export``) into a
-temporary directory under the same profile the committed ``results/``
-were produced with (``REPRO_PROFILE=quick``), then compares every file
-byte-for-byte.  The single tolerated exception is the analysis
-wall-clock column of Table 3 (``time_s`` / ``Time(s)``): it measures
-the host machine, not the simulated one, so it is masked before
-comparison.  Everything else — every simulated-cycle figure, every
-counter — must be bit-identical, which is the invariant the hot-path
-fast paths are held to (see DESIGN.md, "Performance & determinism").
+Re-runs the full evaluation export (``repro.eval.export``) under the
+same profile the committed ``results/`` were produced with
+(``REPRO_PROFILE=quick``) **three times** — once against an empty
+artifact cache (cold, populating it), once against the now-populated
+cache (every build/run rehydrated from disk), and once with
+``REPRO_CACHE=off`` — and compares every file of every pass
+byte-for-byte against the committed tree.  That is the cache's whole
+contract: a hit may only ever change *when* you get the bytes, never
+*which* bytes you get.
+
+The single tolerated exception is the analysis wall-clock column of
+Table 3 (``time_s`` / ``Time(s)``): it measures the host machine, not
+the simulated one, so it is masked before comparison.  Everything else
+— every simulated-cycle figure, every counter — must be bit-identical,
+which is the invariant the hot-path fast paths are held to (see
+DESIGN.md, "Performance & determinism" and "Build caching").
 
 Additionally, the compile-side benchmark snapshot
 (``BENCH_analysis.json``) is regenerated and its *derived* fields —
@@ -85,43 +92,67 @@ def check_bench_analysis(env: dict, failures: list[str]) -> None:
                     f"{got.get('apps', {}).get(app)!r}")
 
 
-def main() -> int:
-    committed = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "results"
-    env = dict(os.environ)
-    env["REPRO_PROFILE"] = "quick"
-    env.setdefault("PYTHONPATH", str(REPO / "src"))
+def check_export(committed: Path, env: dict, label: str,
+                 failures: list[str]) -> int:
+    """Run one full export and diff it against the committed tree.
+    Returns the number of committed files (for the summary line)."""
+    names = sorted(p.name for p in committed.iterdir())
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
         subprocess.run(
             [sys.executable, "-m", "repro.eval.export", tmp],
             cwd=REPO, env=env, check=True,
         )
         fresh_dir = Path(tmp)
-        failures = []
-        names = sorted(p.name for p in committed.iterdir())
         for name in names:
             fresh = fresh_dir / name
             if not fresh.exists():
-                failures.append(f"{name}: not regenerated by export")
+                failures.append(f"[{label}] {name}: not regenerated")
                 continue
             want = normalise(committed / name)
             got = normalise(fresh)
             if want != got:
-                failures.append(f"{name}: content diverged")
+                failures.append(f"[{label}] {name}: content diverged")
                 for i, (w, g) in enumerate(zip(want, got)):
                     if w != g:
-                        failures.append(f"  line {i + 1}: {w!r} != {g!r}")
+                        failures.append(
+                            f"  line {i + 1}: {w!r} != {g!r}")
         extra = sorted(p.name for p in fresh_dir.iterdir()
                        if p.name not in names)
         for name in extra:
-            failures.append(f"{name}: produced by export but not committed")
+            failures.append(
+                f"[{label}] {name}: produced by export but not committed")
+    return len(names)
+
+
+def main() -> int:
+    committed = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "results"
+    env = dict(os.environ)
+    env["REPRO_PROFILE"] = "quick"
+    env.setdefault("PYTHONPATH", str(REPO / "src"))
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        # Pass 1: empty store — every artifact cold-built, then stored.
+        env["REPRO_CACHE"] = cache_dir
+        count = check_export(committed, env, "cache-cold", failures)
+        entries = sum(1 for _ in Path(cache_dir).glob("*/*/*.bin"))
+        if entries == 0:
+            failures.append(
+                "[cache-cold] export populated no cache entries")
+        # Pass 2: same store, now warm — every artifact rehydrated.
+        check_export(committed, env, "cache-warm", failures)
+        # Pass 3: store bypassed entirely.
+        env["REPRO_CACHE"] = "off"
+        check_export(committed, env, "cache-off", failures)
     check_bench_analysis(env, failures)
     if failures:
         print("DETERMINISM CHECK FAILED")
         print("\n".join(failures))
         return 1
-    print(f"determinism check passed: {len(names)} files bit-identical "
-          "(table3 host wall-clock column masked) and BENCH_analysis.json "
-          "derived fields unchanged (host timings masked)")
+    print(f"determinism check passed: {count} files bit-identical across "
+          f"cold-cache, warm-cache ({entries} entries) and cache-off "
+          "exports (table3 host wall-clock column masked) and "
+          "BENCH_analysis.json derived fields unchanged (host timings "
+          "masked)")
     return 0
 
 
