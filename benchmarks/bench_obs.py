@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark.
+
+Emits ``BENCH_obs.json`` answering the two questions the flight
+recorder's design hinges on:
+
+* **disabled-mode cost** — with no recorder attached (the default),
+  does the interpreter match the canonical ``bench_regress`` harness?
+  The hot step loop contains no observability code and the emit guards
+  sit on cold seams only, so the throughput ratio must stay within 5%.
+* **enabled-mode cost** — what does attaching a
+  :class:`~repro.obs.recorder.FlightRecorder` cost, both on a pure
+  interpreter loop (vanilla throughput: almost no events) and on a
+  switch-heavy OPEC workload (PinLock: every switch emits a span tree)?
+
+Each mode reports best-of-N wall clock *and* the simulated quantities;
+the simulated numbers are identical across modes by construction —
+observability must never change what is charged.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_obs.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_regress import _throughput_module  # noqa: E402
+from repro import build_opec, run_image  # noqa: E402
+from repro.hw import Machine, stm32f4_discovery  # noqa: E402
+from repro.image import build_vanilla_image  # noqa: E402
+from repro.interp import Interpreter  # noqa: E402
+from repro.obs import FlightRecorder  # noqa: E402
+
+THRESHOLD_PCT = 5.0
+TRIALS = 5
+
+
+def bench_throughput(traced: bool) -> dict:
+    """The bench_regress vanilla loop, with/without a recorder."""
+    board = stm32f4_discovery()
+    image = build_vanilla_image(_throughput_module(), board)
+    best = None
+    for _ in range(TRIALS):
+        machine = Machine(board)
+        if traced:
+            machine.recorder = FlightRecorder()
+        image.initialize_memory(machine)
+        interp = Interpreter(machine, image, max_instructions=10_000_000)
+        start = time.perf_counter()
+        interp.run()
+        wall = time.perf_counter() - start
+        if best is None or wall < best[0]:
+            best = (wall, interp, machine)
+    wall, interp, machine = best
+    return {
+        "wall_clock_s": round(wall, 4),
+        "instructions": interp.instructions_executed,
+        "cycles": machine.cycles,
+        "insts_per_s": round(interp.instructions_executed / wall),
+        "events": machine.recorder.seq if machine.recorder else 0,
+    }
+
+
+def bench_pinlock(traced: bool) -> dict:
+    """PinLock under full OPEC enforcement, with/without a recorder."""
+    from repro.apps import pinlock
+
+    app = pinlock.build(rounds=2)
+    artifacts = build_opec(app.module, app.board, app.specs)
+    best = None
+    for _ in range(TRIALS):
+        recorder = FlightRecorder() if traced else None
+        start = time.perf_counter()
+        result = run_image(artifacts.image, setup=app.setup,
+                           max_instructions=app.max_instructions,
+                           recorder=recorder)
+        wall = time.perf_counter() - start
+        if best is None or wall < best[0]:
+            best = (wall, result, recorder)
+    wall, result, recorder = best
+    app.verify_run(result.machine, result.halt_code)
+    return {
+        "wall_clock_s": round(wall, 4),
+        "halt_code": result.halt_code,
+        "cycles": result.machine.cycles,
+        "switches": result.hooks.switch_count,
+        "events": recorder.seq if recorder else 0,
+    }
+
+
+def _overhead_pct(disabled_s: float, reference_s: float) -> float:
+    return round((disabled_s / reference_s - 1) * 100, 2)
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_obs.json"
+
+    # Canonical harness reference (same workload, same code path,
+    # machine left entirely untouched by this script).
+    from bench_regress import bench_vanilla_throughput
+
+    reference = bench_vanilla_throughput()
+    throughput_off = bench_throughput(traced=False)
+    throughput_on = bench_throughput(traced=True)
+    pinlock_off = bench_pinlock(traced=False)
+    pinlock_on = bench_pinlock(traced=True)
+
+    disabled_overhead_pct = _overhead_pct(
+        throughput_off["wall_clock_s"], reference["wall_clock_s"])
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "threshold_pct": THRESHOLD_PCT,
+        "reference": {
+            "harness": "bench_regress.bench_vanilla_throughput",
+            "wall_clock_s": reference["wall_clock_s"],
+            "insts_per_s": reference["insts_per_s"],
+        },
+        "workloads": {
+            "vanilla_throughput": {
+                "disabled": throughput_off,
+                "enabled": throughput_on,
+                "enabled_overhead_pct": _overhead_pct(
+                    throughput_on["wall_clock_s"],
+                    throughput_off["wall_clock_s"]),
+            },
+            "pinlock_opec": {
+                "disabled": pinlock_off,
+                "enabled": pinlock_on,
+                "enabled_overhead_pct": _overhead_pct(
+                    pinlock_on["wall_clock_s"],
+                    pinlock_off["wall_clock_s"]),
+            },
+        },
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "pass": disabled_overhead_pct < THRESHOLD_PCT,
+    }
+    # Observability must not change simulated quantities.
+    for pair in (("vanilla_throughput", "cycles"), ("pinlock_opec", "cycles")):
+        workload = report["workloads"][pair[0]]
+        if workload["disabled"][pair[1]] != workload["enabled"][pair[1]]:
+            report["pass"] = False
+            report.setdefault("failures", []).append(
+                f"{pair[0]}: simulated {pair[1]} changed with tracing on")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

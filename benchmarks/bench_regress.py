@@ -25,7 +25,6 @@ import json
 import platform
 import sys
 import time
-from dataclasses import asdict
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -63,7 +62,7 @@ def bench_vanilla_throughput() -> dict:
         "wall_clock_s": round(wall, 4),
         "instructions": interp.instructions_executed,
         "cycles": machine.cycles,
-        "stats": asdict(machine.stats),
+        "stats": machine.stats.as_dict(),
         "insts_per_s": round(interp.instructions_executed / wall),
     }
 
@@ -83,7 +82,7 @@ def bench_pinlock_opec() -> dict:
         "halt_code": result.halt_code,
         "cycles": result.machine.cycles,
         "switches": result.hooks.switch_count,
-        "stats": asdict(result.machine.stats),
+        "stats": result.machine.stats.as_dict(),
     }
 
 

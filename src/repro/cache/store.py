@@ -35,6 +35,8 @@ from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from ..obs.events import CACHE_HIT, CACHE_MISS, CACHE_STORE, DOMAIN_HOST
+from ..obs.recorder import active_recorder
 from .digest import pipeline_fingerprint
 
 _MAGIC = b"opec-cache-v1"
@@ -109,12 +111,14 @@ class ArtifactStore:
             raw = path.read_bytes()
         except OSError:
             self._count("misses")
+            self._trace(CACHE_MISS, digest)
             return None
         try:
             obj = self._decode(raw)
         except Exception:
             self._count("corrupt")
             self._count("misses")
+            self._trace(CACHE_MISS, digest, corrupt=1)
             try:
                 path.unlink()
             except OSError:
@@ -122,6 +126,7 @@ class ArtifactStore:
             return None
         self._count("hits")
         self._count("bytes_read", len(raw))
+        self._trace(CACHE_HIT, digest, bytes=len(raw))
         return obj
 
     def put(self, digest: str, obj: Any) -> int:
@@ -148,6 +153,7 @@ class ArtifactStore:
             return 0
         self._count("stores")
         self._count("bytes_written", len(entry))
+        self._trace(CACHE_STORE, digest, bytes=len(entry))
         return len(entry)
 
     @staticmethod
@@ -201,6 +207,13 @@ class ArtifactStore:
         setattr(self.counters, name, getattr(self.counters, name) + amount)
         setattr(GLOBAL_COUNTERS, name,
                 getattr(GLOBAL_COUNTERS, name) + amount)
+
+    @staticmethod
+    def _trace(kind: str, digest: str, **args: int) -> None:
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.instant(kind, digest[:16], None, DOMAIN_HOST,
+                             args=args or None)
 
 
 _stores: dict[tuple[str, str], ArtifactStore] = {}

@@ -8,6 +8,11 @@ Usage (``python -m repro.cli <command>``):
 * ``run APP [--build vanilla|opec|ACES1|ACES2|ACES3]`` — run a build
   on the simulator and report cycles/overhead;
 * ``eval TARGET`` — regenerate a table/figure (or ``all``);
+* ``trace APP [--format json|tsv] [--output FILE]`` — run a build
+  under the flight recorder and export the event stream (Chrome
+  trace-event JSON loads directly in Perfetto);
+* ``metrics APP`` — run a build and print the metrics registry
+  (counters + cycle histograms);
 * ``cache stats|clear|verify|fingerprint`` — inspect or maintain the
   content-addressed artifact cache (see ``REPRO_CACHE``);
 * ``attack`` — the PinLock §6.1 case-study demo.
@@ -88,6 +93,40 @@ def _cmd_eval(args) -> int:
         print(module.render(module.compute_table()))
     else:
         print(module.render(module.compute_figure()))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .eval.tracing import record_app_trace
+    from .obs import chrome_trace, event_tsv, trace_summary
+
+    recorder, result = record_app_trace(
+        args.app, args.build, profile=args.profile, capacity=args.buf)
+    domain = None if args.all_domains else "sim"
+    if args.format == "json":
+        text = chrome_trace(recorder, domain)
+    else:
+        text = event_tsv(recorder, domain)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{args.app} [{args.build}] halt={result.halt_code} "
+              f"cycles={result.cycles}")
+        print(trace_summary(recorder))
+        print(f"trace written to {args.output} "
+              f"(load JSON in Perfetto / chrome://tracing)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .eval.workloads import run_build
+
+    result = run_build(args.app, args.build, profile=args.profile)
+    print(result.machine.metrics.render(
+        f"{args.app} [{args.build}] — halt={result.halt_code} "
+        f"cycles={result.cycles}"))
     return 0
 
 
@@ -200,6 +239,34 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["table1", "table2", "table3", "figure9",
                              "figure10", "figure11", "all"])
     ev.set_defaults(func=_cmd_eval)
+
+    trace = sub.add_parser(
+        "trace", help="run under the flight recorder and export events")
+    trace.add_argument("app")
+    trace.add_argument("--build", default="opec",
+                       choices=["vanilla", "opec", "ACES1", "ACES2",
+                                "ACES3"])
+    trace.add_argument("--profile", default="quick",
+                       choices=["quick", "paper"])
+    trace.add_argument("--format", default="json",
+                       choices=["json", "tsv"],
+                       help="Chrome trace-event JSON (Perfetto) or TSV")
+    trace.add_argument("--output", help="write the trace here")
+    trace.add_argument("--buf", type=int, default=None,
+                       help="ring capacity (default: REPRO_TRACE_BUF)")
+    trace.add_argument("--all-domains", action="store_true",
+                       help="include host-side build/cache events")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a build and print the metrics registry")
+    metrics.add_argument("app")
+    metrics.add_argument("--build", default="opec",
+                         choices=["vanilla", "opec", "ACES1", "ACES2",
+                                  "ACES3"])
+    metrics.add_argument("--profile", default="quick",
+                         choices=["quick", "paper"])
+    metrics.set_defaults(func=_cmd_metrics)
 
     dump = sub.add_parser("dump", help="print a workload as OPEC-IR text")
     dump.add_argument("app")

@@ -4,7 +4,12 @@
 and figure and writes:
 
 * ``<target>.txt`` — the rendered text (what the console prints);
-* ``<target>.tsv`` — machine-readable rows for plotting elsewhere.
+* ``<target>.tsv`` — machine-readable rows for plotting elsewhere;
+* ``trace_pinlock.json`` / ``trace_pinlock.tsv`` — the PinLock OPEC
+  run's flight-recorder stream (Chrome trace-event JSON for Perfetto,
+  plus one row per event) — sim domain only, so the bytes are
+  cache-temperature-independent;
+* ``metrics_pinlock.txt`` — the same run's metrics registry.
 
 Rows come from :func:`repro.eval.workloads.compute_all_rows`, so
 ``REPRO_JOBS`` > 1 regenerates the applications concurrently while the
@@ -16,7 +21,9 @@ from __future__ import annotations
 import os
 import sys
 
+from ..obs import chrome_trace, event_tsv
 from . import figure9, figure10, figure11, table1, table2, table3
+from .tracing import record_app_trace
 from .workloads import compute_all_rows
 
 
@@ -87,6 +94,22 @@ def export_all(output_dir: str) -> list[str]:
            r.type_resolved, f"{r.avg_targets:.2f}", r.max_targets]
           for r in t3],
     ])
+
+    # Flight-recorder exports: PinLock under OPEC, simulated fresh (a
+    # cached RunResult carries no event stream).  Sim-domain only, so
+    # the bytes do not depend on cache temperature.
+    recorder, result = record_app_trace("PinLock", "opec")
+    for name, text in [
+        ("trace_pinlock.json", chrome_trace(recorder)),
+        ("trace_pinlock.tsv", event_tsv(recorder)),
+        ("metrics_pinlock.txt", result.machine.metrics.render(
+            f"PinLock [opec] — halt={result.halt_code} "
+            f"cycles={result.cycles}") + "\n"),
+    ]:
+        path = os.path.join(output_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        written.append(path)
     return written
 
 

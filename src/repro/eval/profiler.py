@@ -37,10 +37,19 @@ class Profile:
     total_cycles: int = 0
     halt_code: int = 0
 
+    #: Sort keys ``top`` accepts — the numeric FunctionProfile fields.
+    SORT_KEYS = ("calls", "self_cycles", "total_cycles")
+
     def top(self, count: int = 10, by: str = "self_cycles"
             ) -> list[FunctionProfile]:
+        if by not in self.SORT_KEYS:
+            raise ValueError(
+                f"unknown profile sort key {by!r}: expected one of "
+                f"{', '.join(self.SORT_KEYS)}")
+        # Ties (e.g. two leaf tasks with identical cost) break on the
+        # function name, so the ordering is deterministic.
         return sorted(self.functions.values(),
-                      key=lambda p: getattr(p, by), reverse=True)[:count]
+                      key=lambda p: (-getattr(p, by), p.name))[:count]
 
     def render(self, count: int = 15) -> str:
         rows = []

@@ -22,7 +22,8 @@ from typing import Optional
 from ..image.layout import Image
 from ..interp.interpreter import Interpreter
 from ..ir.function import Function
-from ..pipeline import RunResult
+from ..obs.recorder import FlightRecorder, trace_capacity
+from ..pipeline import RunResult, run_image
 
 
 @dataclass
@@ -80,6 +81,44 @@ class TaskTracer:
                 and func.name == self._window_task):
             self._window_task = None
         self._depth -= 1
+
+
+def record_app_trace(name: str, kind: str = "opec", *,
+                     profile: Optional[str] = None,
+                     capacity: Optional[int] = None
+                     ) -> tuple[FlightRecorder, RunResult]:
+    """Build ``name`` and run it under a dedicated flight recorder.
+
+    The build may be served from the artifact store, but the simulation
+    always executes fresh — a cached :class:`RunResult` carries no
+    event stream — so the returned recorder holds the complete
+    deterministic trace of the run.  ``capacity`` defaults to the
+    ``REPRO_TRACE_BUF`` setting.
+    """
+    from .workloads import (
+        aces_artifacts,
+        active_profile,
+        build_app,
+        opec_artifacts,
+    )
+
+    profile = profile or active_profile()
+    app = build_app(name, profile)
+    if kind == "vanilla":
+        from ..pipeline import build_vanilla
+
+        image = build_vanilla(app.module, app.board)
+    elif kind == "opec":
+        image = opec_artifacts(name, profile).image
+    else:
+        image = aces_artifacts(name, kind, profile).image
+    recorder = FlightRecorder(capacity if capacity is not None
+                              else trace_capacity())
+    result = run_image(image, setup=app.setup,
+                       max_instructions=app.max_instructions,
+                       recorder=recorder)
+    app.verify_run(result.machine, result.halt_code)
+    return recorder, result
 
 
 def trace_tasks(image: Image, task_entries: list[str], *,

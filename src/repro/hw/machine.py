@@ -19,8 +19,9 @@ runtime-overhead numbers (Figure 9) are deterministic.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from typing import Optional
 
+from ..obs.metrics import Counter, MetricsRegistry
 from .board import Board, PPB_BASE as _PPB_BASE, PPB_END as _PPB_END
 from .exceptions import BusFault, MemManageFault
 from .memory import FlashRegion, MemoryMap, MMIODevice, MMIORegion, RamRegion
@@ -30,18 +31,61 @@ from .mpu import MPU
 SYSTICK_IRQ = 15
 
 
-@dataclass
 class MachineStats:
-    """Counters exposed to the evaluation harness."""
+    """Counters exposed to the evaluation harness.
 
-    loads: int = 0
-    stores: int = 0
-    memmanage_faults: int = 0
-    bus_faults: int = 0
-    svc_calls: int = 0
-    peripheral_region_switches: int = 0
-    emulated_core_accesses: int = 0
-    micro_emulated_accesses: int = 0
+    Historically a plain dataclass of ints; the values now live in the
+    machine's :class:`~repro.obs.metrics.MetricsRegistry` (under
+    ``machine.<field>``) and this class is the compatibility shim: the
+    old attribute reads and ``stats.field += 1`` writes keep working,
+    and ``as_dict()`` replaces ``dataclasses.asdict``.  Hot paths hold
+    the underlying :class:`Counter` cells directly.
+    """
+
+    FIELDS = (
+        "loads",
+        "stores",
+        "memmanage_faults",
+        "bus_faults",
+        "svc_calls",
+        "peripheral_region_switches",
+        "emulated_core_accesses",
+        "micro_emulated_accesses",
+    )
+
+    __slots__ = ("registry", "_counters")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = MetricsRegistry() if registry is None else registry
+        self._counters = {field: self.registry.counter(f"machine.{field}")
+                          for field in self.FIELDS}
+
+    def counter(self, field: str) -> Counter:
+        """The underlying registry cell for ``field`` (hot-path refs)."""
+        return self._counters[field]
+
+    def as_dict(self) -> dict[str, int]:
+        return {field: self._counters[field].value for field in self.FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={self._counters[f].value}"
+                          for f in self.FIELDS)
+        return f"MachineStats({inner})"
+
+
+def _stat_property(field: str) -> property:
+    def _get(self: MachineStats) -> int:
+        return self._counters[field].value
+
+    def _set(self: MachineStats, value: int) -> None:
+        self._counters[field].value = value
+
+    return property(_get, _set)
+
+
+for _field in MachineStats.FIELDS:
+    setattr(MachineStats, _field, _stat_property(_field))
+del _field
 
 
 class Machine:
@@ -62,7 +106,16 @@ class Machine:
         self._systick_armed = False
         self._systick_period = 0
         self._systick_next = 0
-        self.stats = MachineStats()
+        self.metrics = MetricsRegistry()
+        self.stats = MachineStats(self.metrics)
+        # Flight recorder, or None (the default): emit seams check
+        # identity, so disabled tracing costs nothing on hot paths.
+        self.recorder = None
+        # Hot-path counter cells — load/store fire per instruction.
+        self._n_loads = self.stats.counter("loads")
+        self._n_stores = self.stats.counter("stores")
+        self._n_bus_faults = self.stats.counter("bus_faults")
+        self._n_memmanage = self.stats.counter("memmanage_faults")
         self.devices: dict[str, MMIODevice] = {}
         # Core PPB peripherals exist on every ARMv7-M part.
         from .peripherals.core import DWT, SCB, SysTick
@@ -143,34 +196,34 @@ class Machine:
 
     def load(self, address: int, size: int) -> int:
         """A data read issued by executing code (MPU/PPB-checked)."""
-        self.stats.loads += 1
+        self._n_loads.value += 1
         privileged = self.privileged
         if not privileged and _PPB_BASE <= address < _PPB_END:
-            self.stats.bus_faults += 1
+            self._n_bus_faults.value += 1
             raise BusFault(address, size, False, value=0, is_ppb=True)
         if not self.mpu.allows(address, size, privileged, False):
-            self.stats.memmanage_faults += 1
+            self._n_memmanage.value += 1
             raise MemManageFault(address, size, False, value=0)
         return self.memory.read(address, size)
 
     def store(self, address: int, size: int, value: int) -> None:
         """A data write issued by executing code (MPU/PPB-checked)."""
-        self.stats.stores += 1
+        self._n_stores.value += 1
         privileged = self.privileged
         if not privileged and _PPB_BASE <= address < _PPB_END:
-            self.stats.bus_faults += 1
+            self._n_bus_faults.value += 1
             raise BusFault(address, size, True, value=value, is_ppb=True)
         if not self.mpu.allows(address, size, privileged, True):
-            self.stats.memmanage_faults += 1
+            self._n_memmanage.value += 1
             raise MemManageFault(address, size, True, value=value)
         self.memory.write(address, size, value)
 
     def _check(self, address: int, size: int, write: bool, value: int = 0) -> None:
         if Board.is_ppb(address) and not self.privileged:
-            self.stats.bus_faults += 1
+            self._n_bus_faults.value += 1
             raise BusFault(address, size, write, value=value, is_ppb=True)
         if not self.mpu.allows(address, size, self.privileged, write):
-            self.stats.memmanage_faults += 1
+            self._n_memmanage.value += 1
             raise MemManageFault(address, size, write, value=value)
 
     # -- unchecked accesses (privileged monitor / DMA / loader) ----------
@@ -190,6 +243,14 @@ class Machine:
     def program_flash(self, address: int, blob: bytes) -> None:
         """Burn the firmware image (loader path, not a runtime store)."""
         self.flash.program(address, blob)
+
+    def __getstate__(self) -> dict:
+        # The recorder is a live observation buffer, not machine state:
+        # cached RunResults must not carry one run's event stream into
+        # another's (it would also defeat cache-temperature determinism).
+        state = dict(self.__dict__)
+        state["recorder"] = None
+        return state
 
     def __repr__(self) -> str:
         mode = "priv" if self.privileged else "unpriv"

@@ -33,6 +33,7 @@ from typing import Callable, Optional
 from ..hw.exceptions import (
     BusFault,
     HardFault,
+    MachineError,
     MachineHalt,
     MemManageFault,
 )
@@ -66,6 +67,14 @@ from ..ir.values import (
     Parameter,
     Value,
 )
+from ..obs.events import (
+    HALT as EV_HALT,
+    IRQ as EV_IRQ,
+    SVC as EV_SVC,
+    SVC_ENTER as EV_SVC_ENTER,
+    SVC_RETURN as EV_SVC_RETURN,
+)
+from ..obs.recorder import attach_crash_context
 from .costs import DEFAULT_COST, DIV_COST, INSTRUCTION_COSTS
 from .hooks import RuntimeHooks
 
@@ -142,14 +151,28 @@ class Interpreter:
 
     def resume(self) -> int:
         """Execute until halt; returns the firmware's halt code."""
+        machine = self.machine
         try:
             while self.frames:
                 self.step()
         except MachineHalt as halt:
             self.halt_code = halt.code
+            recorder = machine.recorder
+            if recorder is not None:
+                recorder.instant(EV_HALT, f"halt({halt.code})",
+                                 machine.cycles, args={"code": halt.code})
             return halt.code
+        except MachineError as error:
+            # Terminal fault: dump the flight-recorder tail onto the
+            # exception so the failure window survives the crash.
+            attach_crash_context(error, machine.recorder, machine.cycles)
+            raise
         # ``main`` returned without halting: treat as a clean stop.
         self.halt_code = 0
+        recorder = machine.recorder
+        if recorder is not None:
+            recorder.instant(EV_HALT, "main-return", machine.cycles,
+                             args={"code": 0})
         return 0
 
     def call_function(self, func: Function, args: list[int],
@@ -208,6 +231,10 @@ class Interpreter:
         handler = self.image.irq_handlers.get(number)
         if handler is None or handler.is_declaration:
             return
+        recorder = self.machine.recorder
+        if recorder is not None:
+            recorder.begin(EV_IRQ, handler.name, self.machine.cycles,
+                           args={"number": number})
         self.machine.consume(INSTRUCTION_COSTS["svc"])  # exception entry
         self.machine.privileged = True
         self._irq_depth += 1
@@ -390,6 +417,11 @@ class Interpreter:
 
     def _exec_svc(self, frame: Frame, inst: SVC) -> None:
         self.machine.stats.svc_calls += 1
+        recorder = self.machine.recorder
+        if recorder is not None:
+            recorder.instant(EV_SVC, f"svc{inst.number}",
+                             self.machine.cycles,
+                             args={"number": inst.number})
         handler = getattr(self.hooks, "on_svc", None)
         if handler is not None:
             with self.machine.privileged_mode():
@@ -430,6 +462,10 @@ class Interpreter:
         if switched:
             self.machine.stats.svc_calls += 1
             self.machine.consume(INSTRUCTION_COSTS["svc"])
+            recorder = self.machine.recorder
+            if recorder is not None:
+                recorder.instant(EV_SVC_ENTER, callee.name,
+                                 self.machine.cycles)
             with self.machine.privileged_mode():
                 args = self.hooks.before_call(self, callee, args)
         self.call_function(callee, args, switched=switched, call_site=inst)
@@ -445,10 +481,18 @@ class Interpreter:
             self._irq_depth -= 1
             self.machine.consume(INSTRUCTION_COSTS["svc"])
             self.machine.privileged = self.machine.base_privilege
+            recorder = self.machine.recorder
+            if recorder is not None:
+                recorder.end(EV_IRQ, frame.function.name,
+                             self.machine.cycles)
             return
         if frame.switched:
             self.machine.stats.svc_calls += 1
             self.machine.consume(INSTRUCTION_COSTS["svc"])
+            recorder = self.machine.recorder
+            if recorder is not None:
+                recorder.instant(EV_SVC_RETURN, frame.function.name,
+                                 self.machine.cycles)
             with self.machine.privileged_mode():
                 self.hooks.after_return(self, frame.function)
         if not self.frames:

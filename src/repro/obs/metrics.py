@@ -1,0 +1,152 @@
+"""Central metrics registry: named counters and cycle histograms.
+
+The registry is the one place simulated quantities accumulate —
+machine-level access/fault counters (the former ad-hoc
+:class:`~repro.hw.machine.MachineStats` fields live here now, behind a
+compatibility shim), monitor-level switch/sync/relocation counters,
+and cycle-valued histograms (operation-switch duration, MemManage
+handling time).  Everything in it is derived from simulated execution,
+so a snapshot is deterministic: same firmware, same stimuli, same
+numbers — across processes, hash seeds, and cache temperatures.
+
+Counters are tiny mutable cells (``counter.value += 1``) so hot paths
+pay one attribute store, the same shape as the dataclass field
+increments they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class Counter:
+    """One monotonically written integer cell."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class CycleHistogram:
+    """Power-of-two-bucketed histogram of cycle durations.
+
+    Bucket ``i`` counts observations with ``bit_length() == i`` (bucket
+    0 holds zeros); 33 buckets cover the 32-bit cycle range.  Buckets
+    are a fixed-size list, so observation is O(1) and snapshots are
+    deterministic without sorting.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    BUCKETS = 33
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max = 0
+        self.buckets = [0] * self.BUCKETS
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[min(value.bit_length(), self.BUCKETS - 1)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min or 0,
+            "mean": round(self.mean, 2),
+            "max": self.max,
+            "buckets": {
+                f"<2^{i}": n for i, n in enumerate(self.buckets) if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters and histograms."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, CycleHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        cell = self.counters.get(name)
+        if cell is None:
+            cell = self.counters[name] = Counter(name)
+        return cell
+
+    def histogram(self, name: str) -> CycleHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = CycleHistogram(name)
+        return hist
+
+    # -- snapshots ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every metric as plain data, sorted by name (deterministic)."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "histograms": {name: self.histograms[name].as_dict()
+                           for name in sorted(self.histograms)},
+        }
+
+    def render(self, title: str = "Metrics") -> str:
+        """An aligned text summary (counters, then histograms)."""
+        lines = [title]
+        rows: list[tuple[str, str]] = [
+            (name, str(self.counters[name].value))
+            for name in sorted(self.counters)
+        ]
+        lines.extend(_aligned(["counter", "value"], rows))
+        hist_rows = []
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            hist_rows.append((name, str(h.count), str(h.total),
+                              str(h.min or 0), f"{h.mean:.1f}", str(h.max)))
+        if hist_rows:
+            lines.append("")
+            lines.extend(_aligned(
+                ["histogram", "count", "total", "min", "mean", "max"],
+                hist_rows))
+        return "\n".join(lines)
+
+
+def _aligned(headers: Iterable[str],
+             rows: list[tuple[str, ...]]) -> list[str]:
+    headers = list(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+           "  ".join("-" * w for w in widths)]
+    out.extend("  ".join(c.ljust(w) for c, w in zip(row, widths))
+               for row in rows)
+    return out
+
+
+__all__ = ["Counter", "CycleHistogram", "MetricsRegistry"]

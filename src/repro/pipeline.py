@@ -30,6 +30,8 @@ from .interp.hooks import RuntimeHooks
 from .interp.interpreter import Interpreter
 from .ir.module import Module
 from .ir.verifier import verify_module
+from .obs.events import BUILD_STAGE, DOMAIN_HOST
+from .obs.recorder import FlightRecorder, active_recorder
 from .partition.operations import Operation, OperationSpec, partition_operations
 from .partition.policy import SystemPolicy, build_policy
 from .runtime.monitor import OpecMonitor
@@ -91,11 +93,18 @@ def build_opec(
             return cached
 
     stage_times: dict[str, float] = {}
+    recorder = active_recorder()
 
     def timed(stage: str, thunk):
+        if recorder is not None:
+            recorder.begin(BUILD_STAGE, stage, None, DOMAIN_HOST,
+                           args={"flavour": "opec",
+                                 "module": module.name})
         start = time.perf_counter()
         result = thunk()
         stage_times[stage] = time.perf_counter() - start
+        if recorder is not None:
+            recorder.end(BUILD_STAGE, stage, None, DOMAIN_HOST)
         return result
 
     if verify:
@@ -136,10 +145,16 @@ def build_vanilla(module: Module, board: Board, *,
         cached = store.get(digest)
         if cached is not None:
             return cached
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.begin(BUILD_STAGE, "vanilla", None, DOMAIN_HOST,
+                       args={"flavour": "vanilla", "module": module.name})
     if verify:
         verify_module(module)
     image = build_vanilla_image(module, board,
                                 stack_size=stack_size, heap_size=heap_size)
+    if recorder is not None:
+        recorder.end(BUILD_STAGE, "vanilla", None, DOMAIN_HOST)
     if store is not None:
         store.put(digest, image)
     return image
@@ -163,13 +178,18 @@ def run_image(
     setup: Optional[Callable[[Machine], None]] = None,
     entry: str = "main",
     max_instructions: int = 100_000_000,
+    recorder: Optional[FlightRecorder] = None,
 ) -> RunResult:
     """Load ``image`` onto a fresh machine and run it to halt.
 
     ``setup`` attaches device models and feeds host-side stimuli; for
     OPEC images pass ``hooks=None`` to get a monitor automatically.
+    ``recorder`` attaches a flight recorder to the machine; when left
+    ``None`` the ambient recorder (``REPRO_TRACE``) applies.
     """
     machine = Machine(image.board)
+    machine.recorder = recorder if recorder is not None \
+        else active_recorder()
     if setup is not None:
         setup(machine)
     image.initialize_memory(machine)

@@ -32,6 +32,17 @@ from ..interp.costs import (
 from ..interp.hooks import RuntimeHooks
 from ..ir.function import Function
 from ..ir.values import GlobalVariable
+from ..obs.events import (
+    FAULT_MEMMANAGE,
+    OP_MPU,
+    OP_RETURN,
+    OP_SANITISE,
+    OP_STACK,
+    OP_SWITCH,
+    OP_SYNC,
+    PPB_EMULATE,
+    REGION_EVICT,
+)
 from ..partition.operations import Operation
 from .context import SwitchContext
 from .stack import StackProtector
@@ -51,11 +62,20 @@ class OpecMonitor(RuntimeHooks):
         self.context_stack: list[SwitchContext] = []
         self.current_stack_mask = 0
         self._victim_rotation = 0
-        self.switch_count = 0
+        self._n_switches = machine.metrics.counter(
+            "monitor.operation_switches")
+        self._h_switch = machine.metrics.histogram("monitor.switch_cycles")
+        self._h_memmanage = machine.metrics.histogram(
+            "monitor.memmanage_cycles")
         # Resolved reloc-table addresses are loop-invariant within an
         # operation; a compiling build hoists the slot load, so the
         # per-access cost is paid once per (operation, variable).
         self._addr_cache: dict[GlobalVariable, int] = {}
+
+    @property
+    def switch_count(self) -> int:
+        """Total operation switches (call direction), from the registry."""
+        return self._n_switches.value
 
     # -- initialisation (§5.1) ------------------------------------------
 
@@ -116,16 +136,34 @@ class OpecMonitor(RuntimeHooks):
                     args: list[int]) -> list[int]:
         target = self.image.operation_for_entry(callee)
         assert target is not None
-        self.machine.consume(SWITCH_BASE_COST)
-        self.switch_count += 1
+        machine = self.machine
+        recorder = machine.recorder
+        start_cycles = machine.cycles
+        switch_name = f"{self.current.name}->{target.name}"
+        if recorder is not None:
+            recorder.begin(OP_SWITCH, switch_name, machine.cycles,
+                           args={"from": self.current.name,
+                                 "to": target.name,
+                                 "entry": callee.name})
+        machine.consume(SWITCH_BASE_COST)
+        self._n_switches.value += 1
         self._addr_cache.clear()
 
-        # Figure 7(b): write the suspended operation's shadows back,
-        # then refresh the entered operation's shadows.
-        self.sync.write_back(self.current)
+        # Figure 7(b): sanitise the suspended operation's shadows, write
+        # them back, then refresh the entered operation's shadows.
+        if recorder is not None:
+            recorder.begin(OP_SANITISE, self.current.name, machine.cycles)
+        self.sync.sanitize_operation(self.current)
+        if recorder is not None:
+            recorder.end(OP_SANITISE, self.current.name, machine.cycles)
+            recorder.begin(OP_SYNC, switch_name, machine.cycles)
+        self.sync.write_back(self.current, sanitize=False)
         self.sync.refresh(target)
         self.sync.update_relocation_table(target)
         self.sync.redirect_pointers(target)
+        if recorder is not None:
+            recorder.end(OP_SYNC, switch_name, machine.cycles)
+            recorder.begin(OP_STACK, target.name, machine.cycles)
 
         # Figure 8: relocate stack-passed buffers and mask sub-regions.
         new_args, new_sp, relocations = self.stack.relocate_arguments(
@@ -143,33 +181,68 @@ class OpecMonitor(RuntimeHooks):
         boundary = self.stack.boundary_below(context.saved_sp)
         self.current_stack_mask = self.stack.mask_for(boundary)
         self.current = target
+        if recorder is not None:
+            recorder.end(OP_STACK, target.name, machine.cycles,
+                         args={"relocations": len(relocations)})
+            recorder.begin(OP_MPU, target.name, machine.cycles)
         self._load_mpu(target, self.current_stack_mask)
+        if recorder is not None:
+            recorder.end(OP_MPU, target.name, machine.cycles)
+            recorder.end(OP_SWITCH, switch_name, machine.cycles)
+        self._h_switch.observe(machine.cycles - start_cycles)
         return new_args
 
     def after_return(self, interp, callee: Function) -> None:
         if not self.context_stack:
             raise SecurityAbort("operation exit without matching entry")
         context = self.context_stack.pop()
-        self.machine.consume(SWITCH_BASE_COST)
+        machine = self.machine
+        recorder = machine.recorder
+        start_cycles = machine.cycles
+        previous = context.previous
+        switch_name = f"{self.current.name}->{previous.name}"
+        if recorder is not None:
+            recorder.begin(OP_RETURN, switch_name, machine.cycles,
+                           args={"from": self.current.name,
+                                 "to": previous.name,
+                                 "entry": callee.name})
+        machine.consume(SWITCH_BASE_COST)
         self._addr_cache.clear()
 
-        # Figure 7(c): write back the exiting operation, refresh the
-        # resumed one, restore its relocation-table view.
-        self.sync.write_back(self.current)
-        previous = context.previous
+        # Figure 7(c): sanitise and write back the exiting operation,
+        # refresh the resumed one, restore its relocation-table view.
+        if recorder is not None:
+            recorder.begin(OP_SANITISE, self.current.name, machine.cycles)
+        self.sync.sanitize_operation(self.current)
+        if recorder is not None:
+            recorder.end(OP_SANITISE, self.current.name, machine.cycles)
+            recorder.begin(OP_SYNC, switch_name, machine.cycles)
+        self.sync.write_back(self.current, sanitize=False)
         self.sync.refresh(previous)
         self.sync.update_relocation_table(previous)
         self.sync.redirect_pointers(previous)
+        if recorder is not None:
+            recorder.end(OP_SYNC, switch_name, machine.cycles)
+            recorder.begin(OP_STACK, previous.name, machine.cycles)
 
         # Copy relocated buffers back and restore the stack.
         self.stack.copy_back(context.relocations)
         interp.sp = context.saved_sp
         self.current = previous
         self.current_stack_mask = context.saved_stack_mask
+        if recorder is not None:
+            recorder.end(OP_STACK, previous.name, machine.cycles,
+                         args={"relocations": len(context.relocations)})
+            recorder.begin(OP_MPU, previous.name, machine.cycles)
         self._load_mpu(previous, self.current_stack_mask)
+        if recorder is not None:
+            recorder.end(OP_MPU, previous.name, machine.cycles)
         # General-purpose registers are cleared on exit (frame registers
         # are dropped with the frame; charge the zeroing cost).
-        self.machine.consume(13)
+        machine.consume(13)
+        if recorder is not None:
+            recorder.end(OP_RETURN, switch_name, machine.cycles)
+        self._h_switch.observe(machine.cycles - start_cycles)
 
     # -- MPU loading --------------------------------------------------------
 
@@ -202,6 +275,26 @@ class OpecMonitor(RuntimeHooks):
     # -- MPU-region virtualisation (§5.2) -----------------------------------------
 
     def handle_memmanage(self, interp, fault: MemManageFault) -> bool:
+        machine = self.machine
+        recorder = machine.recorder
+        start_cycles = machine.cycles
+        fault_name = f"0x{fault.address:08X}"
+        if recorder is not None:
+            recorder.begin(FAULT_MEMMANAGE, fault_name, machine.cycles,
+                           args={"address": fault.address,
+                                 "write": int(fault.is_write),
+                                 "operation": self.current.name})
+        try:
+            handled = self._virtualise_region(fault)
+        finally:
+            # A SecurityAbort still closes the span, so a crash trace
+            # shows the fault being handled when the run died.
+            if recorder is not None:
+                recorder.end(FAULT_MEMMANAGE, fault_name, machine.cycles)
+        self._h_memmanage.observe(machine.cycles - start_cycles)
+        return handled
+
+    def _virtualise_region(self, fault: MemManageFault) -> bool:
         address = fault.address
         layout = self.image.layout_of(self.current)
 
@@ -240,6 +333,13 @@ class OpecMonitor(RuntimeHooks):
                 ))
                 self.machine.stats.peripheral_region_switches += 1
                 self.machine.consume(REGION_SWITCH_COST)
+                recorder = self.machine.recorder
+                if recorder is not None:
+                    recorder.instant(
+                        REGION_EVICT, f"region{victim}",
+                        self.machine.cycles,
+                        args={"victim": victim, "base": piece_base,
+                              "size": piece_size})
                 return
         raise SecurityAbort(
             f"no MPU cover for window piece at 0x{address:08X}"
@@ -261,6 +361,12 @@ class OpecMonitor(RuntimeHooks):
             )
         self.machine.stats.emulated_core_accesses += 1
         self.machine.consume(CORE_EMULATION_COST)
+        recorder = self.machine.recorder
+        if recorder is not None:
+            recorder.instant(
+                PPB_EMULATE, f"0x{fault.address:08X}", self.machine.cycles,
+                args={"address": fault.address,
+                      "write": int(fault.is_write)})
         if fault.is_write:
             self.machine.write_direct(fault.address, fault.size, fault.value)
             return 0

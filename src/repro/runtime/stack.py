@@ -34,6 +34,8 @@ class StackProtector:
         self.base = image.stack_base
         self.size = image.stack_size
         self.subregion = image.subregion_size
+        self._bytes_relocated = machine.metrics.counter(
+            "monitor.stack_bytes_relocated")
 
     def boundary_below(self, sp: int) -> int:
         """Start address of the sub-region containing ``sp``."""
@@ -64,6 +66,7 @@ class StackProtector:
             new_sp = (new_sp - size) & ~0x3
             blob = self.machine.read_bytes(original, size)
             self.machine.write_bytes(new_sp, blob)
+            self._bytes_relocated.value += size
             self.machine.consume(STACK_RELOCATE_WORD_COST * ((size + 3) // 4))
             relocations.append(
                 StackRelocation(

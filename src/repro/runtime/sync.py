@@ -36,12 +36,14 @@ class DataSynchronizer:
         for gvar, addr in image.public_addresses.items():
             self._intervals.append((addr, addr + gvar.size, None, gvar))
         self._intervals.sort()
+        self._bytes_copied = machine.metrics.counter("monitor.sync_bytes_copied")
 
     # -- words ------------------------------------------------------------
 
     def _copy(self, src: int, dst: int, size: int) -> None:
         blob = self.machine.read_bytes(src, size)
         self.machine.write_bytes(dst, blob)
+        self._bytes_copied.value += size
         self.machine.consume(SYNC_WORD_COST * ((size + 3) // 4))
 
     # -- sanitisation -------------------------------------------------------
@@ -60,12 +62,25 @@ class DataSynchronizer:
                 f"{operation.name}: value {value} outside [{lo}, {hi}]"
             )
 
-    # -- Figure 7 steps ------------------------------------------------------
+    def sanitize_operation(self, operation: Operation) -> None:
+        """Range-check every external shadow of ``operation``.
 
-    def write_back(self, operation: Operation) -> None:
-        """Shadows of ``operation`` → public copies (sanitised)."""
+        The monitor runs this as its own switch phase (so it traces as a
+        distinct span) and then copies with ``sanitize=False``; checking
+        all shadows before copying any is equivalent to the interleaved
+        order because a failed check aborts the run.
+        """
         for gvar in self.policy.external_vars(operation):
             self.sanitize(operation, gvar)
+
+    # -- Figure 7 steps ------------------------------------------------------
+
+    def write_back(self, operation: Operation, *,
+                   sanitize: bool = True) -> None:
+        """Shadows of ``operation`` → public copies (sanitised)."""
+        for gvar in self.policy.external_vars(operation):
+            if sanitize:
+                self.sanitize(operation, gvar)
             shadow = self.image.shadow_address(operation, gvar)
             self._copy(shadow, self.image.public_addresses[gvar], gvar.size)
 

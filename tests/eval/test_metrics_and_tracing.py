@@ -96,3 +96,74 @@ class TestTaskTracer:
         trace, _ = trace_tasks(image, ["task_a"])
         for names in trace.executed.values():
             assert "main" not in names
+
+    def test_nested_entry_does_not_open_second_window(self, board):
+        """A task entry reached *inside* another task's window belongs
+        to the outer window: one invocation, attributed functions."""
+        module = ir.Module("m")
+        inner, b = ir.define(module, "inner_task", VOID, [])
+        b.ret_void()
+        outer, b = ir.define(module, "outer_task", VOID, [])
+        b.call(inner)
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [])
+        b.call(outer)
+        b.call(inner)  # a direct, window-opening invocation too
+        b.halt(0)
+        image = build_vanilla_image(module, board)
+        trace, _ = trace_tasks(image, ["outer_task", "inner_task"])
+        assert trace.invocations["outer_task"] == 1
+        assert trace.invocations["inner_task"] == 1  # only the direct call
+        assert trace.names_of("outer_task") == {"outer_task", "inner_task"}
+        assert trace.names_of("inner_task") == {"inner_task"}
+
+    def test_reentered_entry_window_closes_at_matching_depth(self, board):
+        """A task entry that recurses closes its window only when the
+        *outermost* activation returns."""
+        module = ir.Module("m")
+        leaf, b = ir.define(module, "leaf", VOID, [])
+        b.ret_void()
+        # task(0) calls task(1) — one level of recursion — then leaf.
+        task, tb = ir.define(module, "task", VOID, [I32])
+        with tb.if_then(tb.icmp("eq", task.params[0], 0)):
+            tb.call(task, 1)
+            tb.call(leaf)
+        tb.ret_void()
+        _m, mb = ir.define(module, "main", I32, [])
+        mb.call(task, 0)
+        mb.halt(0)
+        image = build_vanilla_image(module, board)
+        trace, _ = trace_tasks(image, ["task"])
+        assert trace.invocations["task"] == 1  # one window, not two
+        # leaf runs after the inner activation returned; the window is
+        # still open (outermost activation) so it belongs to the task.
+        assert "leaf" in trace.names_of("task")
+
+    def test_irq_during_window_attributed_to_open_window(self, board):
+        """Everything executed while a window is open belongs to the
+        task — the GDB single-step semantics — including an interrupt
+        handler that happens to fire mid-window."""
+        module = ir.Module("m")
+        ticks = module.add_global("uwTick", I32, 0)
+        handler, b = ir.define(module, "SysTick_Handler", VOID, [],
+                               irq_number=15)
+        b.store(b.add(b.load(ticks), 1), ticks)
+        b.ret_void()
+        task, b = ir.define(module, "task", VOID, [])
+        with b.for_range(0, 2000):  # ~14k cycles: several tick periods
+            pass
+        b.ret_void()
+        _m, b = ir.define(module, "main", I32, [])
+        b.store(999, b.mmio(0xE000E014))   # RVR: tick every 1000 cycles
+        b.store(7, b.mmio(0xE000E010))     # CSR: ENABLE | TICKINT
+        b.call(task)
+        b.halt(b.load(ticks))
+        image = build_vanilla_image(module, board)
+        trace, result = trace_tasks(image, ["task"])
+        assert result.halt_code >= 1  # the handler really fired
+        # The first tick lands well inside task's loop, so the handler
+        # executed with the window open and is attributed to the task.
+        assert "SysTick_Handler" in trace.names_of("task")
+        assert trace.invocations["task"] == 1
+        # The handler is not an entry, so no window of its own.
+        assert "SysTick_Handler" not in trace.invocations

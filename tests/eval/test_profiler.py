@@ -1,8 +1,10 @@
 """Tests for the per-function cycle profiler."""
 
+import pytest
+
 import repro.ir as ir
 from repro import build_opec, build_vanilla
-from repro.eval.profiler import profile_image
+from repro.eval.profiler import FunctionProfile, Profile, profile_image
 from repro.hw import stm32f4_discovery
 from repro.ir import I32, VOID
 
@@ -61,3 +63,36 @@ class TestProfiler:
         text = profile.render()
         assert "heavy" in text
         assert "Self %" in text
+
+
+class TestTop:
+    def _profile(self):
+        profile = Profile()
+        profile.functions = {
+            name: FunctionProfile(name=name, calls=calls, self_cycles=sc,
+                                  total_cycles=tc)
+            for name, calls, sc, tc in [
+                ("beta", 2, 50, 90), ("alpha", 2, 50, 90),
+                ("gamma", 1, 100, 100),
+            ]
+        }
+        return profile
+
+    def test_sorts_by_requested_key(self):
+        profile = self._profile()
+        assert [p.name for p in profile.top(by="self_cycles")][0] == "gamma"
+        assert [p.name for p in profile.top(by="calls")][:2] \
+            == ["alpha", "beta"]
+
+    def test_ties_break_on_function_name(self):
+        names = [p.name for p in self._profile().top(by="self_cycles")]
+        assert names == ["gamma", "alpha", "beta"]  # alpha < beta
+
+    def test_count_truncates(self):
+        assert len(self._profile().top(count=2)) == 2
+
+    def test_unknown_sort_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile sort key"):
+            self._profile().top(by="wall_clock")
+        with pytest.raises(ValueError, match="name"):
+            self._profile().top(by="name")  # exists but not numeric

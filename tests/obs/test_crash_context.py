@@ -1,0 +1,115 @@
+"""Crash-context integration: terminal faults carry the event tail."""
+
+import pytest
+
+import repro.ir as ir
+from repro import build_opec
+from repro.hw import (
+    HardFault,
+    Machine,
+    SecurityAbort,
+    stm32f4_discovery,
+)
+from repro.interp import Interpreter
+from repro.ir import I32, VOID
+from repro.obs import FlightRecorder
+from repro.runtime.monitor import OpecMonitor
+
+from ..conftest import MINI_SPECS, build_mini_module
+
+
+def _attack_module(target_address):
+    """task_b performs an arbitrary write at a leaked address."""
+    module = ir.Module("attack")
+    counter = module.add_global("counter", ir.I32, 0)
+    secret = module.add_global("secret", ir.I32, 7)
+    module.add_global("blob", ir.array(ir.I32, 8))
+    _a, b = ir.define(module, "task_a", VOID, [])
+    b.store(b.add(b.load(counter), b.load(secret)), counter)
+    b.ret_void()
+    _b, b = ir.define(module, "task_b", VOID, [])
+    b.store(b.load(counter), b.gep(module.get_global("blob"), 0, 0))
+    b.store(0xBAD, b.inttoptr(target_address, I32))
+    b.ret_void()
+    _m, b = ir.define(module, "main", I32, [])
+    b.call(module.get_function("task_a"))
+    b.call(module.get_function("task_b"))
+    b.halt(b.load(counter))
+    return module
+
+
+def _armed_artifacts(board):
+    """Leak the secret's address via a probe build, then arm the write."""
+    probe = build_opec(_attack_module(0), board, MINI_SPECS)
+    leaked = probe.image.global_address(probe.module.get_global("secret"))
+    return build_opec(_attack_module(leaked), board, MINI_SPECS)
+
+
+def _run_with_recorder(image, monitor_cls=OpecMonitor):
+    machine = Machine(image.board)
+    machine.recorder = FlightRecorder()
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image, monitor_cls(machine, image))
+    return interp, machine
+
+
+class LyingMonitor(OpecMonitor):
+    """Claims every MemManage fault is handled but never maps a region,
+    so the interpreter's retry loop escalates to a HardFault."""
+
+    def _virtualise_region(self, fault):
+        return True
+
+
+class TestSecurityAbortContext:
+    def test_abort_carries_flight_recorder_tail(self, board):
+        artifacts = _armed_artifacts(board)
+        interp, _ = _run_with_recorder(artifacts.image)
+        with pytest.raises(SecurityAbort, match="outside its policy") as exc:
+            interp.run()
+        context = exc.value.crash_context
+        assert context.startswith("flight recorder: last")
+        # The tail shows the fault being handled when the run died: the
+        # MemManage span opened (and was closed by the finally), then
+        # the crash marker with the abort reason.
+        assert "fault.memmanage" in context
+        assert "run.crash" in context
+        assert "SecurityAbort" in context
+        assert "outside its policy" in context
+
+    def test_no_recorder_no_context(self, board):
+        from repro import run_image
+
+        artifacts = _armed_artifacts(board)
+        with pytest.raises(SecurityAbort) as exc:
+            run_image(artifacts.image)
+        assert not hasattr(exc.value, "crash_context")
+
+
+class TestRetryLimitContext:
+    def test_memmanage_escalated_hardfault_carries_context(self, board):
+        artifacts = _armed_artifacts(board)
+        interp, machine = _run_with_recorder(artifacts.image, LyingMonitor)
+        with pytest.raises(HardFault, match="retry limit") as exc:
+            interp.run()
+        context = exc.value.crash_context
+        assert "flight recorder" in context
+        # Sixteen claimed-handled retries each open and close a
+        # MemManage span; a 32-event window sees several of them.
+        assert context.count("fault.memmanage") >= 4
+        assert "HardFault" in context
+        # The recorder itself holds the full escalation: 16 retries
+        # for the single faulting store.
+        kinds = [e.kind for e in machine.recorder.events()]
+        assert kinds.count("fault.memmanage") == 32  # 16 B + 16 E
+
+
+class TestHaltEvents:
+    def test_clean_halt_emits_halt_event_not_crash(self, board):
+        artifacts = build_opec(build_mini_module(), board, MINI_SPECS)
+        interp, machine = _run_with_recorder(artifacts.image)
+        code = interp.run()
+        kinds = [e.kind for e in machine.recorder.events()]
+        assert "run.halt" in kinds
+        assert "run.crash" not in kinds
+        assert machine.recorder.events()[-1].args == {"code": code}

@@ -1,0 +1,139 @@
+"""Tests for the trace exporters and the end-to-end event stream."""
+
+import json
+
+import pytest
+
+from repro import build_opec, run_image
+from repro.obs import (
+    FlightRecorder,
+    chrome_trace,
+    event_tsv,
+    span_pairs,
+    trace_summary,
+)
+from repro.obs.events import DOMAIN_HOST, DOMAIN_SIM
+
+from ..conftest import MINI_HALT_CODE, MINI_SPECS, build_mini_module
+
+
+def _traced_mini_run(board):
+    artifacts = build_opec(build_mini_module(), board, MINI_SPECS)
+    recorder = FlightRecorder()
+    result = run_image(artifacts.image, recorder=recorder)
+    assert result.halt_code == MINI_HALT_CODE
+    return recorder, result
+
+
+class TestChromeTrace:
+    def test_valid_json_with_expected_schema(self, board):
+        recorder, _ = _traced_mini_run(board)
+        document = json.loads(chrome_trace(recorder))
+        assert document["otherData"]["clock"] == "dwt-cycles"
+        assert document["otherData"]["dropped"] == 0
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"  # thread_name metadata first
+        assert events[0]["args"]["name"] == "firmware (DWT cycles)"
+        for entry in events[1:]:
+            assert entry["ph"] in ("B", "E", "i")
+            assert isinstance(entry["ts"], int)
+            assert entry["tid"] == 0  # sim track only by default
+
+    def test_begin_end_balance_and_nesting(self, board):
+        recorder, result = _traced_mini_run(board)
+        events = recorder.events(DOMAIN_SIM)
+        begins = [e for e in events if e.ph == "B"]
+        ends = [e for e in events if e.ph == "E"]
+        assert len(begins) == len(ends)  # clean halt closes every span
+        pairs = span_pairs(events)
+        assert len(pairs) == len(begins)
+        # Three switches (a, b, a), each a span with 4 phases inside,
+        # mirrored on return: op.switch/op.return plus op.sanitise,
+        # op.sync, op.stack, op.mpu spans.
+        kinds = {p[0].kind for p in pairs}
+        assert {"op.switch", "op.return", "op.sanitise", "op.sync",
+                "op.stack", "op.mpu"} <= kinds
+        switches = [p for p in pairs if p[0].kind == "op.switch"]
+        assert len(switches) == result.hooks.switch_count == 3
+        for begin, end in pairs:
+            assert begin.ts <= end.ts  # cycle timestamps monotone
+
+    def test_phase_spans_nest_inside_switch(self, board):
+        recorder, _ = _traced_mini_run(board)
+        events = recorder.events(DOMAIN_SIM)
+        pairs = span_pairs(events)
+        switch = next(p for p in pairs if p[0].kind == "op.switch")
+        inner = [p for p in pairs
+                 if p[0].kind.startswith("op.")
+                 and p[0].kind not in ("op.switch", "op.return")
+                 and switch[0].seq < p[0].seq and p[1].seq < switch[1].seq]
+        assert {p[0].kind for p in inner} == {"op.sanitise", "op.sync",
+                                              "op.stack", "op.mpu"}
+
+    def test_svc_events_bracket_switches(self, board):
+        recorder, _ = _traced_mini_run(board)
+        kinds = [e.kind for e in recorder.events(DOMAIN_SIM)]
+        assert kinds.count("svc.enter") == 3
+        assert kinds.count("svc.return") == 3
+        assert kinds[-1] == "run.halt"
+
+    def test_host_domain_excluded_by_default(self, board):
+        recorder, _ = _traced_mini_run(board)
+        recorder.instant("cache.hit", "deadbeef", None, domain=DOMAIN_HOST)
+        document = json.loads(chrome_trace(recorder))
+        assert all(e["tid"] == 0 for e in document["traceEvents"])
+        everything = json.loads(chrome_trace(recorder, domain=None))
+        assert any(e["tid"] == 1 for e in everything["traceEvents"])
+
+
+class TestEventTsv:
+    def test_header_and_row_shape(self, board):
+        recorder, _ = _traced_mini_run(board)
+        lines = event_tsv(recorder).splitlines()
+        assert lines[0] == "seq\tts\tph\tkind\tname\tdomain\targs"
+        assert len(lines) == len(recorder.events(DOMAIN_SIM)) + 1
+        for line in lines[1:]:
+            assert len(line.split("\t")) == 7
+
+    def test_summary_mentions_counts(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(6):
+            rec.instant("k", f"e{i}", i)
+        text = trace_summary(rec)
+        assert "6 events emitted" in text
+        assert "2 dropped" in text
+        assert "capacity 4" in text
+
+
+class TestSpanPairs:
+    def test_unclosed_spans_dropped(self):
+        rec = FlightRecorder()
+        rec.begin("outer", "o", 0)
+        rec.begin("inner", "i", 1)
+        rec.end("inner", "i", 2)
+        # "outer" never ends — a crash mid-span.
+        pairs = span_pairs(rec.events())
+        assert [(b.kind, e.ts) for b, e in pairs] == [("inner", 2)]
+
+
+class TestDeterminism:
+    def test_trace_bytes_identical_across_runs(self, board):
+        first_rec, _ = _traced_mini_run(board)
+        second_rec, _ = _traced_mini_run(board)
+        assert chrome_trace(first_rec) == chrome_trace(second_rec)
+        assert event_tsv(first_rec) == event_tsv(second_rec)
+
+    def test_metrics_identical_across_runs(self, board):
+        _, first = _traced_mini_run(board)
+        _, second = _traced_mini_run(board)
+        assert (first.machine.metrics.snapshot()
+                == second.machine.metrics.snapshot())
+
+    def test_traced_run_charges_identical_cycles(self, board):
+        artifacts = build_opec(build_mini_module(), board, MINI_SPECS)
+        plain = run_image(artifacts.image)
+        traced = run_image(artifacts.image, recorder=FlightRecorder())
+        assert plain.cycles == traced.cycles
+        assert plain.halt_code == traced.halt_code
+        assert (plain.machine.stats.as_dict()
+                == traced.machine.stats.as_dict())

@@ -1,0 +1,123 @@
+"""Unit tests for the metrics registry and the MachineStats shim."""
+
+import pickle
+
+import pytest
+
+from repro.hw import Machine, MachineStats, stm32f4_discovery
+from repro.obs.metrics import Counter, CycleHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        cell = Counter("n")
+        cell.add()
+        cell.add(4)
+        cell.value += 2
+        assert cell.value == 7
+        assert cell.name == "n"
+
+
+class TestCycleHistogram:
+    def test_empty_histogram(self):
+        hist = CycleHistogram("h")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.as_dict()["buckets"] == {}
+
+    def test_observations_land_in_power_of_two_buckets(self):
+        hist = CycleHistogram("h")
+        for value in (0, 1, 2, 3, 4, 1000):
+            hist.observe(value)
+        assert hist.count == 6
+        assert hist.total == 1010
+        assert hist.min == 0
+        assert hist.max == 1000
+        data = hist.as_dict()
+        # 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10.
+        assert data["buckets"] == {"<2^0": 1, "<2^1": 1, "<2^2": 2,
+                                   "<2^3": 1, "<2^10": 1}
+        assert data["mean"] == round(1010 / 6, 2)
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        hist = CycleHistogram("h")
+        hist.observe(1 << 40)
+        assert hist.buckets[-1] == 1
+
+
+class TestRegistry:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_sorted_and_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").value = 2
+        registry.counter("a.first").value = 1
+        registry.histogram("h").observe(5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        assert snap["counters"]["z.last"] == 2
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_contains_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("machine.loads").value = 42
+        registry.histogram("monitor.switch_cycles").observe(100)
+        text = registry.render("My title")
+        assert text.startswith("My title")
+        assert "machine.loads" in text and "42" in text
+        assert "monitor.switch_cycles" in text
+
+
+class TestMachineStatsShim:
+    """The dataclass-era interface must keep working over the registry."""
+
+    def test_attribute_reads_and_writes_hit_the_registry(self):
+        machine = Machine(stm32f4_discovery())
+        assert machine.stats.svc_calls == 0
+        machine.stats.svc_calls += 1
+        machine.stats.svc_calls += 1
+        assert machine.stats.svc_calls == 2
+        assert machine.metrics.counter("machine.svc_calls").value == 2
+
+    def test_machine_counters_flow_through(self):
+        machine = Machine(stm32f4_discovery())
+        ram = machine.board.sram_base
+        machine.store(ram, 4, 7)
+        machine.load(ram, 4)
+        assert machine.stats.stores == 1
+        assert machine.stats.loads == 1
+        assert machine.metrics.counter("machine.loads").value == 1
+
+    def test_as_dict_covers_every_field(self):
+        stats = MachineStats(MetricsRegistry())
+        data = stats.as_dict()
+        assert set(data) == set(MachineStats.FIELDS)
+        assert all(v == 0 for v in data.values())
+
+    def test_unknown_field_rejected(self):
+        stats = MachineStats(MetricsRegistry())
+        with pytest.raises(KeyError):
+            stats.counter("not_a_field")
+
+    def test_pickled_machine_keeps_counter_identity(self):
+        machine = Machine(stm32f4_discovery())
+        machine.stats.svc_calls += 3
+        clone = pickle.loads(pickle.dumps(machine))
+        # The shim and the registry must still share cells after a
+        # pickle round-trip (cached RunResults are served this way).
+        assert clone.stats.svc_calls == 3
+        clone.stats.svc_calls += 1
+        assert clone.metrics.counter("machine.svc_calls").value == 4
+        assert machine.stats.svc_calls == 3  # clone is independent
+
+    def test_recorder_never_pickled(self):
+        from repro.obs import FlightRecorder
+
+        machine = Machine(stm32f4_discovery())
+        machine.recorder = FlightRecorder()
+        machine.recorder.instant("k", "e", 0)
+        clone = pickle.loads(pickle.dumps(machine))
+        assert clone.recorder is None

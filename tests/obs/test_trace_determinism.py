@@ -1,0 +1,59 @@
+"""Trace determinism: hash seeds and cache temperature must not leak
+into the flight-recorder exports or the metrics snapshot."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+# Builds PinLock under OPEC, traces the run, and prints the complete
+# deterministic surface: the Chrome trace JSON, the event TSV and the
+# metrics snapshot.
+_TRACE_SCRIPT = """
+import json
+from repro.eval.tracing import record_app_trace
+from repro.obs import chrome_trace, event_tsv
+
+recorder, result = record_app_trace("PinLock", "opec")
+print(chrome_trace(recorder), end="")
+print(event_tsv(recorder), end="")
+print(json.dumps(result.machine.metrics.snapshot(), sort_keys=True))
+"""
+
+
+def _trace_under(seed: str, cache: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["REPRO_PROFILE"] = "quick"
+    env["REPRO_CACHE"] = cache
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _TRACE_SCRIPT],
+        cwd=REPO, env=env, check=True, capture_output=True, text=True,
+    )
+    return proc.stdout
+
+
+def test_trace_stable_across_hash_seeds(tmp_path):
+    """Different PYTHONHASHSEED → different dict/set iteration order in
+    the analyses; every exported byte must still match."""
+    cache = str(tmp_path / "store")
+    out_a = _trace_under("0", cache)
+    out_b = _trace_under("1", cache)
+    assert out_a == out_b
+    assert '"traceEvents"' in out_a  # sanity: the export really ran
+
+
+def test_trace_stable_across_cache_temperature(tmp_path):
+    """Cold build, warm rehydrated build, and no cache at all must
+    produce the same event stream — a cached build may only change
+    *when* the bytes arrive, never which bytes."""
+    cache = str(tmp_path / "store")
+    cold = _trace_under("0", cache)     # populates the store
+    warm = _trace_under("0", cache)     # everything rehydrated
+    off = _trace_under("0", "off")      # store bypassed
+    assert cold == warm == off

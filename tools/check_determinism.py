@@ -49,6 +49,10 @@ MASKED_BENCH_KEYS = {"solve_wall_s", "stages_wall_ms", "harness",
 
 
 def normalise(path: Path) -> list[tuple[str, ...]]:
+    if path.suffix == ".json":
+        # Trace exports are canonical JSON: compare raw bytes, no
+        # whitespace-tolerant splitting.
+        return [(path.read_text(),)]
     masked = MASKED_COLUMNS.get(path.name)
     rows = []
     for line in path.read_text().splitlines():
