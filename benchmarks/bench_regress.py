@@ -8,7 +8,11 @@ changes have a perf trajectory to compare against:
   interpreter (the substrate's instructions-per-second);
 * ``pinlock_opec`` — the PinLock application under full OPEC
   enforcement (operation switches, MPU faults, SysTick, core-peripheral
-  emulation) — the end-to-end hot path.
+  emulation) — the end-to-end hot path;
+* ``pinlock_opec_pmp`` / ``pinlock_opec_overlay`` — the same firmware
+  on the other enforcement backends, so each substrate's arbitration
+  path (PMP entry scan + decision cache, overlay interval bisect) has
+  its own throughput trajectory.
 
 For each workload the report records host wall-clock seconds *and* the
 simulated quantities (``cycles``, instructions, ``MachineStats``).
@@ -67,14 +71,15 @@ def bench_vanilla_throughput() -> dict:
     }
 
 
-def bench_pinlock_opec() -> dict:
+def bench_pinlock_opec(backend: str = "mpu") -> dict:
     from repro.apps import pinlock
 
     app = pinlock.build(rounds=2)
     artifacts = build_opec(app.module, app.board, app.specs)
     start = time.perf_counter()
     result = run_image(artifacts.image, setup=app.setup,
-                       max_instructions=app.max_instructions)
+                       max_instructions=app.max_instructions,
+                       backend=backend)
     wall = time.perf_counter() - start
     app.verify_run(result.machine, result.halt_code)
     return {
@@ -94,6 +99,8 @@ def main() -> int:
         "workloads": {
             "vanilla_throughput": bench_vanilla_throughput(),
             "pinlock_opec": bench_pinlock_opec(),
+            "pinlock_opec_pmp": bench_pinlock_opec("pmp"),
+            "pinlock_opec_overlay": bench_pinlock_opec("overlay"),
         },
     }
     out.write_text(json.dumps(report, indent=2) + "\n")

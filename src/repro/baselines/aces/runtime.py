@@ -23,7 +23,7 @@ from ...hw.exceptions import BusFault, MemManageFault, SecurityAbort
 from ...hw.machine import Machine
 from ...hw.mpu import MPURegion
 from ...image.mpu_config import subregion_disable_for_free_range
-from ...interp.costs import MICRO_EMULATOR_COST, SWITCH_BASE_COST
+from ...interp.costs import MICRO_EMULATOR_COST
 from ...interp.hooks import RuntimeHooks
 from ...ir.function import Function
 from .compartments import Compartment
@@ -54,7 +54,7 @@ class AcesRuntime(RuntimeHooks):
 
     def on_reset(self, interp) -> None:
         self._load_mpu(self.current, self.current_stack_mask)
-        self.machine.mpu.enabled = True
+        self.machine.enforcement.enabled = True
         if not self.current.privileged:
             self.machine.drop_privilege()
 
@@ -71,7 +71,7 @@ class AcesRuntime(RuntimeHooks):
     def before_call(self, interp, callee: Function, args):
         target = self.image.compartment_for(callee)
         assert target is not None
-        self.machine.consume(SWITCH_BASE_COST)
+        self.machine.consume(self.machine.enforcement.switch_base_cost)
         self.switch_count += 1
         self.context_stack.append(
             AcesContext(previous=self.current,
@@ -93,7 +93,7 @@ class AcesRuntime(RuntimeHooks):
         if not self.context_stack:
             raise SecurityAbort("compartment exit without matching entry")
         context = self.context_stack.pop()
-        self.machine.consume(SWITCH_BASE_COST)
+        self.machine.consume(self.machine.enforcement.switch_base_cost)
         self.current = context.previous
         self.current_stack_mask = context.stack_mask
         self._load_mpu(self.current, self.current_stack_mask)
@@ -111,7 +111,7 @@ class AcesRuntime(RuntimeHooks):
                 ))
             else:
                 regions.append(template)
-        self.machine.mpu.load_configuration(regions)
+        self.machine.enforcement.load_configuration(regions)
 
     def handle_memmanage(self, interp, fault: MemManageFault):
         # The micro-emulator: accesses into the (masked) previous stack

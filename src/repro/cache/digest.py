@@ -127,15 +127,19 @@ def run_digest(
     *,
     entry: str = "main",
     max_instructions: int = 0,
+    backend: str = "mpu",
 ) -> str:
     """Content key for one simulated run of a built image.
 
     The host-side stimuli (``Application.setup``) are a function of
     ``(app_name, profile)`` and of the source tree, which the build
-    key's pipeline fingerprint already covers.
+    key's pipeline fingerprint already covers.  The enforcement
+    ``backend`` is part of the key — switch/fault costs differ per
+    substrate, so a warm hit must never serve one backend's cycles to
+    another's run.
     """
     text = (f"run\0{build_key}\0{app_name}\0{profile}\0{entry}\0"
-            f"{max_instructions}")
+            f"{max_instructions}\0backend={backend}")
     return hashlib.sha256(text.encode()).hexdigest()
 
 

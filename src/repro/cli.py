@@ -5,9 +5,11 @@ Usage (``python -m repro.cli <command>``):
 * ``list`` — the available workloads;
 * ``build APP [--policy FILE]`` — run the OPEC-Compiler pipeline,
   print the partition, optionally write the §4.3 policy file;
-* ``run APP [--build vanilla|opec|ACES1|ACES2|ACES3]`` — run a build
-  on the simulator and report cycles/overhead;
-* ``eval TARGET`` — regenerate a table/figure (or ``all``);
+* ``run APP [--build vanilla|opec|ACES1|ACES2|ACES3]
+  [--backend mpu|pmp|overlay]`` — run a build on the simulator (under
+  the chosen enforcement backend) and report cycles/overhead;
+* ``eval TARGET [--backend ...]`` — regenerate a table/figure (or
+  ``all``, or the ``backends`` comparison matrix);
 * ``trace APP [--format json|tsv] [--output FILE]`` — run a build
   under the flight recorder and export the event stream (Chrome
   trace-event JSON loads directly in Perfetto);
@@ -21,8 +23,23 @@ Usage (``python -m repro.cli <command>``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
+
+#: Mirrors :data:`repro.hw.backend.KNOWN_BACKENDS`; spelled out here so
+#: building the parser does not import the package (a test pins the
+#: parity).
+BACKEND_CHOICES = ["mpu", "pmp", "overlay"]
+
+
+def _pin_backend(args) -> None:
+    """Export ``--backend`` to the environment so every downstream
+    consumer — in-process runs, eval worker processes, cache digests —
+    sees the same substrate."""
+    backend = getattr(args, "backend", None)
+    if backend:
+        os.environ["REPRO_BACKEND"] = backend
 
 
 def _cmd_list(_args) -> int:
@@ -63,6 +80,7 @@ def _cmd_build(args) -> int:
 def _cmd_run(args) -> int:
     from .eval.workloads import build_app, run_build
 
+    _pin_backend(args)
     result = run_build(args.app, args.build, profile=args.profile)
     print(f"{args.app} [{args.build}] halt={result.halt_code} "
           f"cycles={result.cycles}")
@@ -78,12 +96,15 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_eval(args) -> int:
-    from .eval import figure9, figure10, figure11, table1, table2, table3
+    from .eval import (backends, figure9, figure10, figure11, table1,
+                       table2, table3)
     from .eval.report_all import main as report_all
 
+    _pin_backend(args)
     targets = {
         "table1": table1, "table2": table2, "table3": table3,
         "figure9": figure9, "figure10": figure10, "figure11": figure11,
+        "backends": backends,
     }
     if args.target == "all":
         report_all()
@@ -100,6 +121,7 @@ def _cmd_trace(args) -> int:
     from .eval.tracing import record_app_trace
     from .obs import chrome_trace, event_tsv, trace_summary
 
+    _pin_backend(args)
     recorder, result = record_app_trace(
         args.app, args.build, profile=args.profile, capacity=args.buf)
     domain = None if args.all_domains else "sim"
@@ -123,6 +145,7 @@ def _cmd_trace(args) -> int:
 def _cmd_metrics(args) -> int:
     from .eval.workloads import run_build
 
+    _pin_backend(args)
     result = run_build(args.app, args.build, profile=args.profile)
     print(result.machine.metrics.render(
         f"{args.app} [{args.build}] — halt={result.halt_code} "
@@ -232,12 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["vanilla", "opec", "ACES1", "ACES2", "ACES3"])
     run.add_argument("--profile", default="quick",
                      choices=["quick", "paper"])
+    run.add_argument("--backend", default=None, choices=BACKEND_CHOICES,
+                     help="enforcement backend (default: REPRO_BACKEND "
+                          "or mpu)")
     run.set_defaults(func=_cmd_run)
 
     ev = sub.add_parser("eval", help="regenerate a table/figure")
     ev.add_argument("target",
                     choices=["table1", "table2", "table3", "figure9",
-                             "figure10", "figure11", "all"])
+                             "figure10", "figure11", "backends", "all"])
+    ev.add_argument("--backend", default=None, choices=BACKEND_CHOICES,
+                    help="enforcement backend the tables are computed "
+                         "under (default: REPRO_BACKEND or mpu)")
     ev.set_defaults(func=_cmd_eval)
 
     trace = sub.add_parser(
@@ -256,6 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ring capacity (default: REPRO_TRACE_BUF)")
     trace.add_argument("--all-domains", action="store_true",
                        help="include host-side build/cache events")
+    trace.add_argument("--backend", default=None, choices=BACKEND_CHOICES,
+                       help="enforcement backend (default: REPRO_BACKEND "
+                            "or mpu)")
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -266,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "ACES3"])
     metrics.add_argument("--profile", default="quick",
                          choices=["quick", "paper"])
+    metrics.add_argument("--backend", default=None,
+                         choices=BACKEND_CHOICES,
+                         help="enforcement backend (default: "
+                              "REPRO_BACKEND or mpu)")
     metrics.set_defaults(func=_cmd_metrics)
 
     dump = sub.add_parser("dump", help="print a workload as OPEC-IR text")

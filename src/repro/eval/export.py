@@ -5,6 +5,9 @@ and figure and writes:
 
 * ``<target>.txt`` — the rendered text (what the console prints);
 * ``<target>.tsv`` — machine-readable rows for plotting elsewhere;
+* ``backends.txt`` / ``backends.tsv`` — the comparative
+  enforcement-backend matrix (MPU / PMP / overlay overheads, switch
+  costs, over-privilege) from :mod:`repro.eval.backends`;
 * ``trace_pinlock.json`` / ``trace_pinlock.tsv`` — the PinLock OPEC
   run's flight-recorder stream (Chrome trace-event JSON for Perfetto,
   plus one row per event) — sim domain only, so the bytes are
@@ -22,7 +25,7 @@ import os
 import sys
 
 from ..obs import chrome_trace, event_tsv
-from . import figure9, figure10, figure11, table1, table2, table3
+from . import backends, figure9, figure10, figure11, table1, table2, table3
 from .tracing import record_app_trace
 from .workloads import compute_all_rows
 
@@ -93,6 +96,21 @@ def export_all(output_dir: str) -> list[str]:
         *[[r.app, r.icalls, r.svf_resolved, f"{r.solve_time_s:.3f}",
            r.type_resolved, f"{r.avg_targets:.2f}", r.max_targets]
           for r in t3],
+    ])
+
+    # Comparative enforcement-backend matrix: every app's OPEC build
+    # under MPU / PMP / overlay.  The table1..figure11 pass above has
+    # already warmed the artifact store with the MPU runs, so only the
+    # PMP and overlay cells simulate here.
+    bk = backends.compute_matrix()
+    save("backends", backends.render(bk), [
+        ["app", "backend", "cycles", "runtime_pct", "switches",
+         "switch_cycles", "switch_avg", "memmanage_faults",
+         "region_swaps", "pt_avg"],
+        *[[r.app, r.backend, r.cycles, f"{r.runtime_pct:.4f}",
+           r.switches, r.switch_cycles, f"{r.switch_avg:.2f}",
+           r.memmanage_faults, r.region_swaps, f"{r.pt_avg:.4f}"]
+          for r in bk],
     ])
 
     # Flight-recorder exports: PinLock under OPEC, simulated fresh (a

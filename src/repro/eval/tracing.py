@@ -85,7 +85,8 @@ class TaskTracer:
 
 def record_app_trace(name: str, kind: str = "opec", *,
                      profile: Optional[str] = None,
-                     capacity: Optional[int] = None
+                     capacity: Optional[int] = None,
+                     backend: Optional[str] = None
                      ) -> tuple[FlightRecorder, RunResult]:
     """Build ``name`` and run it under a dedicated flight recorder.
 
@@ -93,7 +94,8 @@ def record_app_trace(name: str, kind: str = "opec", *,
     always executes fresh — a cached :class:`RunResult` carries no
     event stream — so the returned recorder holds the complete
     deterministic trace of the run.  ``capacity`` defaults to the
-    ``REPRO_TRACE_BUF`` setting.
+    ``REPRO_TRACE_BUF`` setting; ``backend`` to the ambient
+    ``REPRO_BACKEND``.
     """
     from .workloads import (
         aces_artifacts,
@@ -116,7 +118,7 @@ def record_app_trace(name: str, kind: str = "opec", *,
                               else trace_capacity())
     result = run_image(image, setup=app.setup,
                        max_instructions=app.max_instructions,
-                       recorder=recorder)
+                       recorder=recorder, backend=backend)
     app.verify_run(result.machine, result.halt_code)
     return recorder, result
 

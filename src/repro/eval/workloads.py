@@ -30,6 +30,7 @@ from .. import cache
 from ..apps import ACES_APPS, ALL_APPS, Application
 from ..apps import coremark, pinlock
 from ..baselines import AcesArtifacts, build_aces
+from ..hw.backend import active_backend
 from ..pipeline import BuildArtifacts, RunResult, build_opec, build_vanilla, run_image
 
 APP_NAMES = tuple(ALL_APPS)
@@ -118,7 +119,7 @@ def aces_artifacts(name: str, strategy: str,
 
 
 def _run_digest(app: Application, name: str, kind: str,
-                profile: str) -> str:
+                profile: str, backend: str) -> str:
     """Content key for one simulated run of one build flavour."""
     if kind == "opec":
         flavour_key = cache.build_digest("opec", app.module, app.board,
@@ -129,28 +130,34 @@ def _run_digest(app: Application, name: str, kind: str,
         flavour_key = cache.build_digest(f"aces:{kind}", app.module,
                                          app.board)
     return cache.run_digest(flavour_key, name, profile,
-                            max_instructions=app.max_instructions)
+                            max_instructions=app.max_instructions,
+                            backend=backend)
 
 
-def run_build(name: str, kind: str,
-              profile: Optional[str] = None) -> RunResult:
+def run_build(name: str, kind: str, profile: Optional[str] = None,
+              backend: Optional[str] = None) -> RunResult:
     """Run one build flavour ("vanilla", "opec", "ACES1/2/3").
 
     Simulated runs are deterministic — same image, same host stimuli,
-    same cycle count — so completed :class:`RunResult` objects are
-    persisted in the artifact store alongside the builds.  A warm hit
-    skips the simulation entirely; the application's ``verify_run``
-    checks are re-applied to the rehydrated machine either way.
+    same enforcement backend, same cycle count — so completed
+    :class:`RunResult` objects are persisted in the artifact store
+    alongside the builds.  A warm hit skips the simulation entirely;
+    the application's ``verify_run`` checks are re-applied to the
+    rehydrated machine either way.  ``backend`` defaults to the
+    ambient ``REPRO_BACKEND``; it is part of both the in-process memo
+    key and the store digest, so no backend ever observes another's
+    cycles.
     """
     profile = profile or active_profile()
-    key = (name, kind, profile)
+    backend = backend or active_backend()
+    key = (name, kind, profile, backend)
     if key in _run_cache:
         return _run_cache[key]
     app = build_app(name, profile)
     store = cache.active_store()
     digest = ""
     if store is not None:
-        digest = _run_digest(app, name, kind, profile)
+        digest = _run_digest(app, name, kind, profile, backend)
         cached = store.get(digest)
         if cached is not None:
             app.verify_run(cached.machine, cached.halt_code)
@@ -163,7 +170,8 @@ def run_build(name: str, kind: str,
     else:
         image = aces_artifacts(name, kind, profile).image
     result = run_image(image, setup=app.setup,
-                       max_instructions=app.max_instructions)
+                       max_instructions=app.max_instructions,
+                       backend=backend)
     app.verify_run(result.machine, result.halt_code)
     if store is not None:
         store.put(digest, result)
@@ -192,14 +200,16 @@ def _compute_app_rows(name: str) -> dict:
     return rows
 
 
-def _app_rows_worker(job: tuple[str, str]) -> tuple[str, dict, dict]:
-    """Process-pool entry point: pin the worker's profile, then compute
-    one app's rows.  Workers share the parent's on-disk artifact store
-    (``REPRO_CACHE`` is inherited), so only the first process to need a
-    build or run pays for it; the returned counter dict lets the parent
-    report aggregate cache traffic."""
-    name, profile = job
+def _app_rows_worker(job: tuple[str, str, str]) -> tuple[str, dict, dict]:
+    """Process-pool entry point: pin the worker's profile and
+    enforcement backend, then compute one app's rows.  Workers share
+    the parent's on-disk artifact store (``REPRO_CACHE`` is
+    inherited), so only the first process to need a build or run pays
+    for it; the returned counter dict lets the parent report aggregate
+    cache traffic."""
+    name, profile, backend = job
     os.environ["REPRO_PROFILE"] = profile
+    os.environ["REPRO_BACKEND"] = backend
     before = cache.counters_snapshot()
     rows = _compute_app_rows(name)
     return name, rows, cache.counters_delta(before)
@@ -228,10 +238,12 @@ def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
         from concurrent.futures import ProcessPoolExecutor
 
         profile = active_profile()
+        backend = active_backend()
         per_app: dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=min(jobs, len(APP_NAMES))) as pool:
             for name, rows, worker_counters in pool.map(
-                    _app_rows_worker, [(name, profile) for name in APP_NAMES]):
+                    _app_rows_worker,
+                    [(name, profile, backend) for name in APP_NAMES]):
                 per_app[name] = rows
                 counters.merge(worker_counters)
     else:

@@ -1,12 +1,23 @@
 """Simulated ARMv7-M hardware substrate.
 
 Stands in for the paper's STM32 boards: byte-addressable memory map
-(Figure 2), a faithful 8-region MPU with sub-regions (§2.2), two
-privilege levels with PPB protection (§2.1), exception plumbing for
-SVC / MemManage / BusFault, a DWT-style cycle counter, and device
-models for every peripheral the six applications use.
+(Figure 2), two privilege levels with PPB protection (§2.1), exception
+plumbing for SVC / MemManage / BusFault, a DWT-style cycle counter,
+and device models for every peripheral the six applications use.
+
+Memory isolation is pluggable (:mod:`repro.hw.backend`): a faithful
+8-region MPU with sub-regions (§2.2), a RISC-V PMP adapter (§7), and a
+Complets-style permission-overlay model all enforce the same policy
+language behind :class:`~repro.hw.backend.EnforcementBackend`.
 """
 
+from .backend import (
+    DEFAULT_BACKEND,
+    EnforcementBackend,
+    KNOWN_BACKENDS,
+    active_backend,
+    create_backend,
+)
 from .board import (
     Board,
     CORE_PERIPHERALS,
@@ -39,6 +50,11 @@ from .mpu import (
     is_power_of_two,
     region_size_for,
 )
+from .overlay import (
+    OverlayProtection,
+    compile_regions_to_overlay,
+    use_overlay,
+)
 from .pmp import (
     NUM_PMP_ENTRIES,
     PMP,
@@ -50,6 +66,8 @@ from .pmp import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND", "EnforcementBackend", "KNOWN_BACKENDS",
+    "active_backend", "create_backend",
     "Board", "CORE_PERIPHERALS", "Peripheral", "PPB_BASE", "PPB_END",
     "stm32479i_eval", "stm32f4_discovery",
     "BusFault", "HardFault", "MachineError", "MachineHalt",
@@ -61,4 +79,5 @@ __all__ = [
     "NUM_SUBREGIONS", "align_base", "is_power_of_two", "region_size_for",
     "NUM_PMP_ENTRIES", "PMP", "PMPEntry", "PmpProtection",
     "compile_regions_to_pmp", "napot_cover", "use_pmp",
+    "OverlayProtection", "compile_regions_to_overlay", "use_overlay",
 ]

@@ -1,0 +1,158 @@
+"""The enforcement-backend interface (ROADMAP item 3, paper §7).
+
+OPEC's design claims portability to any substrate with MPU-like
+physical memory permissions.  This module makes that claim a contract:
+:class:`EnforcementBackend` is the interface the monitor, the ACES
+baseline runtime, and the image pipeline program against, and three
+conformant backends live behind it:
+
+* ``mpu`` — the faithful ARMv7-M MPU (:class:`repro.hw.mpu.MPU`), the
+  substrate every committed ``results/`` figure was produced on;
+* ``pmp`` — the RISC-V PMP adapter (:class:`repro.hw.pmp.PmpProtection`),
+  which lowers MPU region sets onto NAPOT entries;
+* ``overlay`` — a Complets-style permission-overlay model
+  (:class:`repro.hw.overlay.OverlayProtection`): the region set is
+  compiled into a flat permission table once per configuration and a
+  switch is a single overlay-select register write.
+
+The contract has five parts:
+
+1. **region/overlay load** — ``load_configuration`` /  ``set_region`` /
+   ``clear_region`` / ``get_region`` consume the backend-neutral policy
+   language, :class:`repro.hw.mpu.MPURegion` descriptors (the output of
+   :mod:`repro.image.mpu_config`); each backend lowers them to its own
+   representation;
+2. **per-access arbitration** — ``allows(address, size, privileged,
+   write)``; for unprivileged accesses every backend must arbitrate
+   identically (property-tested in
+   ``tests/properties/test_backend_differential.py``); privileged
+   deltas are documented per backend (DESIGN.md, "Enforcement
+   backends");
+3. **cost model** — ``switch_base_cost`` (cycles charged per full
+   reconfiguration, i.e. one operation/compartment switch) and
+   ``region_switch_cost`` (cycles per fault-driven single-window
+   remap); the monitor charges these instead of hard-wired constants,
+   so backends with cheaper or dearer switch hardware show up in the
+   Figure 9 matrix;
+4. **snapshot/restore** — the opaque configuration capsule saved in
+   operation context;
+5. **decision-cache epoch** — every configuration change must bump
+   ``epoch`` and drop any memoised verdicts (``invalidate``), so
+   cached arbitration never survives a reconfiguration.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .mpu import MPURegion
+
+#: Backend names the factory, the CLI, and ``REPRO_BACKEND`` accept.
+KNOWN_BACKENDS = ("mpu", "pmp", "overlay")
+
+#: The substrate the committed ``results/`` were produced on.
+DEFAULT_BACKEND = "mpu"
+
+
+class EnforcementBackend(abc.ABC):
+    """One memory-isolation substrate (MPU / PMP / permission overlay).
+
+    Concrete backends carry three class-level identity/cost fields —
+    ``name``, ``switch_base_cost``, ``region_switch_cost`` — and two
+    instance fields — ``enabled`` (checked before any arbitration) and
+    ``epoch`` (the decision-cache generation; bumped by every
+    configuration change).
+    """
+
+    #: Registry name (also the CLI/``REPRO_BACKEND`` spelling).
+    name: str = "abstract"
+    #: Cycles charged for a full reconfiguration (operation switch).
+    switch_base_cost: int = 0
+    #: Cycles charged for a fault-driven single-window remap.
+    region_switch_cost: int = 0
+
+    # -- configuration (the backend-neutral policy language) -----------
+
+    @abc.abstractmethod
+    def load_configuration(self, regions: list["MPURegion"]) -> None:
+        """Replace the whole configuration (operation switch, §5.3)."""
+
+    @abc.abstractmethod
+    def set_region(self, region: "MPURegion") -> None:
+        """Install one region descriptor (fault-time virtualisation)."""
+
+    @abc.abstractmethod
+    def clear_region(self, number: int) -> None:
+        """Remove the descriptor in slot ``number``."""
+
+    @abc.abstractmethod
+    def get_region(self, number: int) -> Optional["MPURegion"]:
+        """The descriptor currently in slot ``number`` (or ``None``)."""
+
+    # -- arbitration ----------------------------------------------------
+
+    @abc.abstractmethod
+    def allows(self, address: int, size: int, privileged: bool,
+               write: bool) -> bool:
+        """Arbitrate one access of ``size`` bytes at ``address``."""
+
+    # -- context capsule ------------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot(self) -> list[Optional["MPURegion"]]:
+        """Copy of the current configuration (operation context)."""
+
+    @abc.abstractmethod
+    def restore(self, snapshot: list[Optional["MPURegion"]]) -> None:
+        """Reinstall a :meth:`snapshot` capsule."""
+
+    # -- decision-cache epoch -------------------------------------------
+
+    @abc.abstractmethod
+    def invalidate(self) -> None:
+        """Start a new configuration epoch, dropping cached verdicts."""
+
+
+BackendSpec = Union[str, EnforcementBackend]
+
+
+def create_backend(spec: BackendSpec = DEFAULT_BACKEND) -> EnforcementBackend:
+    """Instantiate a backend by registry name (or pass one through).
+
+    Imports lazily so this module stays import-light and free of
+    cycles (the concrete backends import :class:`EnforcementBackend`).
+    """
+    if isinstance(spec, EnforcementBackend):
+        return spec
+    if spec == "mpu":
+        from .mpu import MPU
+
+        return MPU()
+    if spec == "pmp":
+        from .pmp import PmpProtection
+
+        return PmpProtection()
+    if spec == "overlay":
+        from .overlay import OverlayProtection
+
+        return OverlayProtection()
+    raise ValueError(
+        f"unknown enforcement backend {spec!r}: "
+        f"expected one of {', '.join(KNOWN_BACKENDS)}")
+
+
+def active_backend() -> str:
+    """The ambient backend name (``REPRO_BACKEND``, default ``mpu``).
+
+    Validated loudly — a typo must not silently hand every run the
+    default substrate (mirrors the ``REPRO_PROFILE`` contract).
+    """
+    raw = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND).strip().lower()
+    if raw not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown enforcement backend {raw!r} (REPRO_BACKEND): "
+            f"expected one of {', '.join(KNOWN_BACKENDS)}")
+    return raw

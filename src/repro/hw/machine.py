@@ -22,10 +22,10 @@ from contextlib import contextmanager
 from typing import Optional
 
 from ..obs.metrics import Counter, MetricsRegistry
+from .backend import BackendSpec, DEFAULT_BACKEND, create_backend
 from .board import Board, PPB_BASE as _PPB_BASE, PPB_END as _PPB_END
 from .exceptions import BusFault, MemManageFault
 from .memory import FlashRegion, MemoryMap, MMIODevice, MMIORegion, RamRegion
-from .mpu import MPU
 
 # ARMv7-M exception number of the SysTick interrupt.
 SYSTICK_IRQ = 15
@@ -89,16 +89,24 @@ del _field
 
 
 class Machine:
-    """One simulated microcontroller."""
+    """One simulated microcontroller.
 
-    def __init__(self, board: Board):
+    ``backend`` selects the memory-isolation substrate — a registry
+    name (``"mpu"`` / ``"pmp"`` / ``"overlay"``) or a ready
+    :class:`~repro.hw.backend.EnforcementBackend` instance.  It lives
+    in ``machine.enforcement``; ``machine.mpu`` remains as a
+    read/write alias because the MPU was the only substrate for most
+    of this codebase's life.
+    """
+
+    def __init__(self, board: Board, backend: BackendSpec = DEFAULT_BACKEND):
         self.board = board
         self.memory = MemoryMap()
         self.flash = FlashRegion("flash", board.flash_base, board.flash_size)
         self.sram = RamRegion("sram", board.sram_base, board.sram_size)
         self.memory.map(self.flash)
         self.memory.map(self.sram)
-        self.mpu = MPU()
+        self.enforcement = create_backend(backend)
         self.privileged = True
         self.base_privilege = True
         self.cycles = 0
@@ -138,6 +146,20 @@ class Machine:
 
     def device(self, name: str) -> MMIODevice:
         return self.devices[name]
+
+    # -- enforcement backend alias ------------------------------------
+    #
+    # Historical name: every caller said `machine.mpu` when the MPU was
+    # the only substrate.  The property keeps that spelling working
+    # (including `use_pmp`-style swaps) over the generic attribute.
+
+    @property
+    def mpu(self):
+        return self.enforcement
+
+    @mpu.setter
+    def mpu(self, backend) -> None:
+        self.enforcement = backend
 
     # -- privilege ----------------------------------------------------
     #
@@ -201,7 +223,7 @@ class Machine:
         if not privileged and _PPB_BASE <= address < _PPB_END:
             self._n_bus_faults.value += 1
             raise BusFault(address, size, False, value=0, is_ppb=True)
-        if not self.mpu.allows(address, size, privileged, False):
+        if not self.enforcement.allows(address, size, privileged, False):
             self._n_memmanage.value += 1
             raise MemManageFault(address, size, False, value=0)
         return self.memory.read(address, size)
@@ -213,7 +235,7 @@ class Machine:
         if not privileged and _PPB_BASE <= address < _PPB_END:
             self._n_bus_faults.value += 1
             raise BusFault(address, size, True, value=value, is_ppb=True)
-        if not self.mpu.allows(address, size, privileged, True):
+        if not self.enforcement.allows(address, size, privileged, True):
             self._n_memmanage.value += 1
             raise MemManageFault(address, size, True, value=value)
         self.memory.write(address, size, value)
@@ -222,7 +244,7 @@ class Machine:
         if Board.is_ppb(address) and not self.privileged:
             self._n_bus_faults.value += 1
             raise BusFault(address, size, write, value=value, is_ppb=True)
-        if not self.mpu.allows(address, size, self.privileged, write):
+        if not self.enforcement.allows(address, size, self.privileged, write):
             self._n_memmanage.value += 1
             raise MemManageFault(address, size, write, value=value)
 

@@ -65,10 +65,24 @@ class RamRegion(Region):
         )
 
     def read_bytes(self, address: int, length: int) -> bytes:
+        if address < self.base or address + length > self.end:
+            # Slicing past the bytearray end would silently return
+            # short data; bulk reads must stay within the region.
+            raise HardFault(
+                f"bulk read of 0x{length:X} bytes at 0x{address:08X} "
+                f"leaves region {self.name}"
+            )
         off = address - self.base
         return bytes(self.data[off : off + length])
 
     def write_bytes(self, address: int, blob: bytes) -> None:
+        if address < self.base or address + len(blob) > self.end:
+            # Slice assignment past the end would *grow* the backing
+            # bytearray — memory the bus does not have.
+            raise HardFault(
+                f"bulk write of 0x{len(blob):X} bytes at 0x{address:08X} "
+                f"leaves region {self.name}"
+            )
         off = address - self.base
         self.data[off : off + len(blob)] = blob
 
@@ -159,6 +173,11 @@ class MemoryMap:
     def read_bytes(self, address: int, length: int) -> bytes:
         """Bulk read (DMA / monitor use); must stay within one region."""
         region = self.region_for(address)
+        if address + length > region.end:
+            raise HardFault(
+                f"bulk read crosses region end at 0x{address:08X}"
+                f"+0x{length:X}"
+            )
         if isinstance(region, RamRegion):
             return region.read_bytes(address, length)
         return bytes(
@@ -170,6 +189,11 @@ class MemoryMap:
         region = self.region_for(address)
         if isinstance(region, FlashRegion):
             raise HardFault(f"bulk write to flash at 0x{address:08X}")
+        if address + len(blob) > region.end:
+            raise HardFault(
+                f"bulk write crosses region end at 0x{address:08X}"
+                f"+0x{len(blob):X}"
+            )
         if isinstance(region, RamRegion):
             region.write_bytes(address, blob)
             return

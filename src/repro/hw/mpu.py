@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .backend import EnforcementBackend
+
 ACCESS_NONE = "NA"
 ACCESS_READ = "RO"
 ACCESS_READWRITE = "RW"
@@ -109,7 +111,7 @@ class MPURegion:
 
 
 @dataclass
-class MPU:
+class MPU(EnforcementBackend):
     """The MPU: eight region slots plus the control register bits.
 
     Arbitration results are memoised in a decision cache.  Region
@@ -126,6 +128,16 @@ class MPU:
     invalidation; ``enabled`` is re-checked on every call before the
     cache is consulted.
     """
+
+    # EnforcementBackend identity + cost model.  A full reconfiguration
+    # is eight RBAR/RASR register pairs plus the SVC path around them;
+    # a fault-driven remap rewrites one pair inside the MemManage
+    # handler.  These are the exact constants the monitor charged
+    # before the interface existed (interp.costs.SWITCH_BASE_COST /
+    # REGION_SWITCH_COST), so MPU-backend results stay bit-identical.
+    name = "mpu"
+    switch_base_cost = 60
+    region_switch_cost = 40
 
     enabled: bool = False
     privdefena: bool = True

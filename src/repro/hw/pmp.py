@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .backend import EnforcementBackend
 from .mpu import ACCESS_READ, ACCESS_READWRITE, MPURegion
 
 NUM_PMP_ENTRIES = 16
@@ -84,14 +85,21 @@ class PMP:
         return None
 
     def allows(self, address: int, size: int, privileged: bool,
-               write: bool) -> bool:
+               write: bool, privdefena: bool = True) -> bool:
+        """Arbitrate first and last probe byte against the entry list.
+
+        ``privdefena`` plays ``mstatus``'s default-map role for the
+        adapter: with it clear, M-mode accesses that match no entry are
+        denied, mirroring the MPU's ``PRIVDEFENA=0`` behaviour.
+        """
         if not self.enabled:
             return True
-        for probe in {address, address + size - 1}:
+        last = address + size - 1
+        for probe in (address, last) if last != address else (address,):
             entry = self.first_match(probe)
             if entry is None:
-                # No match: M-mode succeeds, U-mode fails.
-                if privileged:
+                # No match: M-mode succeeds only on the default map.
+                if privileged and privdefena:
                     continue
                 return False
             if privileged and not entry.locked:
@@ -140,10 +148,14 @@ def compile_regions_to_pmp(
     regions are emitted in descending number order.  Sub-region disable
     masks have no PMP analogue: each region is decomposed into its
     enabled sub-region runs, each covered exactly by NAPOT pieces.
+
+    Disabled regions never reach the entry list: ``MPURegion.matches``
+    ignores them, so compiling them would grant accesses the MPU
+    arbitrates to lower-numbered regions (or denies outright).
     """
     entries: list[PMPEntry] = []
     for region in sorted(
-        (r for r in regions if r is not None),
+        (r for r in regions if r is not None and r.enabled),
         key=lambda r: r.number, reverse=True,
     ):
         readable, writable = _entry_permissions(region)
@@ -170,23 +182,47 @@ def compile_regions_to_pmp(
     return entries
 
 
-class PmpProtection:
-    """Drop-in replacement for :class:`repro.hw.mpu.MPU` backed by PMP.
+class PmpProtection(EnforcementBackend):
+    """The PMP :class:`~repro.hw.backend.EnforcementBackend` (§7 port).
 
-    Mirrors the MPU's API — ``set_region`` / ``clear_region`` /
-    ``load_configuration`` / ``allows`` / ``snapshot`` / ``restore`` —
-    while enforcing through compiled PMP entries, so the monitor and
-    image pipeline run unchanged (the §7 port).
+    Consumes the same :class:`MPURegion` policy language as the MPU —
+    ``set_region`` / ``clear_region`` / ``load_configuration`` /
+    ``allows`` / ``snapshot`` / ``restore`` — while enforcing through
+    compiled PMP entries, so the monitor runs unchanged.
+
+    Arbitration verdicts are memoised exactly like the MPU's: every
+    PMP entry boundary is NAPOT-aligned (≥ 4 bytes), so a verdict is
+    constant across an aligned 4-byte word and is cached under
+    ``(first-word, last-word, privileged, write, privdefena)`` until
+    the next configuration epoch.  Without this cache every PMP run
+    re-scanned up to 16 entries per access — structurally slower than
+    the MPU backend for reasons that have nothing to do with the
+    modelled hardware.
     """
+
+    # Cost model: a full reconfiguration writes up to 16 pmpaddr CSRs
+    # plus the four packed pmpcfg CSRs (the MPU writes 8 RBAR/RASR
+    # pairs), so switches are dearer; a fault-driven remap recompiles
+    # one region's NAPOT run into its entries.
+    name = "pmp"
+    switch_base_cost = 84
+    region_switch_cost = 52
 
     def __init__(self):
         self.enabled = False
         self.privdefena = True  # M-mode default map == unlocked bypass
         self.regions: list[Optional[MPURegion]] = [None] * 8
         self.pmp = PMP()
+        self.epoch = 0
+        self._decisions: dict = {}
         self._recompile()
 
-    # -- MPU-compatible API ----------------------------------------------
+    def invalidate(self) -> None:
+        """Start a new configuration epoch, dropping cached verdicts."""
+        self.epoch += 1
+        self._decisions = {}
+
+    # -- configuration -----------------------------------------------------
 
     def set_region(self, region: MPURegion) -> None:
         self.regions[region.number] = region
@@ -209,7 +245,15 @@ class PmpProtection:
                write: bool) -> bool:
         if not self.enabled:
             return True
-        return self.pmp.allows(address, size, privileged, write)
+        privdefena = self.privdefena
+        key = (address >> 2, (address + size - 1) >> 2, privileged, write,
+               privdefena)
+        verdict = self._decisions.get(key)
+        if verdict is None:
+            verdict = self.pmp.allows(address, size, privileged, write,
+                                      privdefena)
+            self._decisions[key] = verdict
+        return verdict
 
     def snapshot(self) -> list[Optional[MPURegion]]:
         return list(self.regions)
@@ -225,6 +269,7 @@ class PmpProtection:
         self.pmp = PMP(enabled=True)
         for index, entry in enumerate(entries):
             self.pmp.set_entry(index, entry)
+        self.invalidate()
 
 
 def use_pmp(machine) -> PmpProtection:

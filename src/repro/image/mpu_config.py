@@ -1,6 +1,14 @@
-"""MPU configuration synthesis (§4.4, §5.2).
+"""Region-plan synthesis (§4.4, §5.2) — the backend-neutral policy.
 
 Computes the per-operation region set the monitor loads on a switch.
+:class:`~repro.hw.mpu.MPURegion` descriptors are the policy *language*
+shared by every :class:`~repro.hw.backend.EnforcementBackend`: the MPU
+programs them into region registers verbatim, the PMP backend lowers
+them onto NAPOT entries, and the overlay backend flattens them into a
+permission table.  Nothing here is MPU-specific beyond the descriptor
+shape (power-of-two sizes, eight sub-regions) — that shape is the
+lingua franca the other substrates are strictly more expressive than.
+
 Region plan (adapted from Figure 6; see DESIGN.md for the one
 deliberate delta):
 
@@ -181,3 +189,37 @@ def peripheral_region(number: int, base: int, size: int) -> MPURegion:
         number=number, base=base, size=size,
         priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
     )
+
+
+def operation_region_set(
+    layout, stack_mask: int,
+    heap_region: "tuple[int, int] | None" = None,
+) -> list[MPURegion]:
+    """Instantiate one operation's full region set (switch time, §5.3).
+
+    ``layout`` is an :class:`~repro.image.linker.OperationLayout`;
+    ``stack_mask`` is the live sub-region disable mask for R3;
+    ``heap_region`` is the covering (base, size) when the operation
+    uses the heap.  The result is what the monitor hands to whichever
+    :class:`~repro.hw.backend.EnforcementBackend` the machine carries.
+    """
+    regions: list[MPURegion] = []
+    for template in layout.templates:
+        if template.number == STACK_REGION:
+            regions.append(template.instantiate(subregion_disable=stack_mask))
+        else:
+            regions.append(template.instantiate())
+    slots = list(PERIPHERAL_REGIONS)
+    if layout.uses_heap:
+        number = slots.pop(0)
+        heap_base, heap_size = heap_region
+        regions.append(MPURegion(
+            number=number, base=heap_base, size=heap_size,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+        ))
+    for (base, size), number in zip(layout.static_windows, slots):
+        regions.append(MPURegion(
+            number=number, base=base, size=size,
+            priv=ACCESS_READWRITE, unpriv=ACCESS_READWRITE,
+        ))
+    return regions

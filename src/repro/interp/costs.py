@@ -32,7 +32,12 @@ INSTRUCTION_COSTS = {
 
 DIV_COST = 12  # udiv/sdiv/urem/srem
 
-# Monitor work (privileged, Python-modelled) is charged explicitly:
+# Monitor work (privileged, Python-modelled) is charged explicitly.
+# Switch and remap costs are *per enforcement backend* — the runtimes
+# charge ``machine.enforcement.switch_base_cost`` /
+# ``.region_switch_cost`` (see ``repro.hw.backend``); the legacy
+# constants below equal the MPU backend's values and remain only as
+# the documented reference point.
 SWITCH_BASE_COST = 60          # SVC entry, context save/restore, MPU reload
 SYNC_WORD_COST = 2             # ldr+str pair per synced 32-bit word
 SANITIZE_CHECK_COST = 3        # one range check

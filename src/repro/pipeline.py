@@ -16,6 +16,7 @@ from .analysis.andersen import AndersenResult, run_andersen
 from .analysis.callgraph import CallGraph, build_call_graph
 from .analysis.resources import ResourceAnalysis
 from .cache import active_store, build_digest
+from .hw.backend import BackendSpec, active_backend
 from .hw.board import Board
 from .hw.machine import Machine
 from .image.layout import (
@@ -179,6 +180,7 @@ def run_image(
     entry: str = "main",
     max_instructions: int = 100_000_000,
     recorder: Optional[FlightRecorder] = None,
+    backend: Optional[BackendSpec] = None,
 ) -> RunResult:
     """Load ``image`` onto a fresh machine and run it to halt.
 
@@ -186,8 +188,12 @@ def run_image(
     OPEC images pass ``hooks=None`` to get a monitor automatically.
     ``recorder`` attaches a flight recorder to the machine; when left
     ``None`` the ambient recorder (``REPRO_TRACE``) applies.
+    ``backend`` selects the enforcement substrate (name or instance);
+    when left ``None`` the ambient ``REPRO_BACKEND`` applies.
     """
-    machine = Machine(image.board)
+    machine = Machine(image.board,
+                      backend=backend if backend is not None
+                      else active_backend())
     machine.recorder = recorder if recorder is not None \
         else active_recorder()
     if setup is not None:

@@ -22,13 +22,12 @@ from ..hw.exceptions import BusFault, MemManageFault, SecurityAbort
 from ..hw.machine import Machine
 from ..hw.mpu import MPURegion
 from ..image.linker import OpecImage, OperationLayout
-from ..image.mpu_config import PERIPHERAL_REGIONS, covering_regions
-from ..interp.costs import (
-    CORE_EMULATION_COST,
-    REGION_SWITCH_COST,
-    SWITCH_BASE_COST,
-    SYNC_WORD_COST,
+from ..image.mpu_config import (
+    PERIPHERAL_REGIONS,
+    covering_regions,
+    operation_region_set,
 )
+from ..interp.costs import CORE_EMULATION_COST, SYNC_WORD_COST
 from ..interp.hooks import RuntimeHooks
 from ..ir.function import Function
 from ..ir.values import GlobalVariable
@@ -94,7 +93,7 @@ class OpecMonitor(RuntimeHooks):
         self.sync.update_relocation_table(self.current)
         self.current_stack_mask = self.stack.mask_for(interp.sp)
         self._load_mpu(self.current, self.current_stack_mask)
-        machine.mpu.enabled = True
+        machine.enforcement.enabled = True
         machine.drop_privilege()
 
     # -- address resolution through the relocation table -------------------
@@ -145,7 +144,7 @@ class OpecMonitor(RuntimeHooks):
                            args={"from": self.current.name,
                                  "to": target.name,
                                  "entry": callee.name})
-        machine.consume(SWITCH_BASE_COST)
+        machine.consume(machine.enforcement.switch_base_cost)
         self._n_switches.value += 1
         self._addr_cache.clear()
 
@@ -206,7 +205,7 @@ class OpecMonitor(RuntimeHooks):
                            args={"from": self.current.name,
                                  "to": previous.name,
                                  "entry": callee.name})
-        machine.consume(SWITCH_BASE_COST)
+        machine.consume(machine.enforcement.switch_base_cost)
         self._addr_cache.clear()
 
         # Figure 7(c): sanitise and write back the exiting operation,
@@ -244,29 +243,19 @@ class OpecMonitor(RuntimeHooks):
             recorder.end(OP_RETURN, switch_name, machine.cycles)
         self._h_switch.observe(machine.cycles - start_cycles)
 
-    # -- MPU loading --------------------------------------------------------
+    # -- enforcement loading ----------------------------------------------
 
     def _load_mpu(self, operation: Operation, stack_mask: int) -> None:
+        """Hand the operation's region plan to the machine's backend.
+
+        Kept under its historical name (the OP_MPU trace span and the
+        paper's §5.3 wording both say "MPU reconfiguration"); the
+        actual substrate is whatever ``machine.enforcement`` carries.
+        """
         layout = self.image.layout_of(operation)
-        regions: list[MPURegion] = []
-        for template in layout.templates:
-            if template.number == 3:  # stack region gets the live mask
-                regions.append(template.instantiate(subregion_disable=stack_mask))
-            else:
-                regions.append(template.instantiate())
-        slots = list(PERIPHERAL_REGIONS)
-        if layout.uses_heap:
-            number = slots.pop(0)
-            heap_base, heap_size = self._heap_region()
-            regions.append(MPURegion(
-                number=number, base=heap_base, size=heap_size,
-                priv="RW", unpriv="RW",
-            ))
-        for (base, size), number in zip(layout.static_windows, slots):
-            regions.append(MPURegion(
-                number=number, base=base, size=size, priv="RW", unpriv="RW",
-            ))
-        self.machine.mpu.load_configuration(regions)
+        heap = self._heap_region() if layout.uses_heap else None
+        self.machine.enforcement.load_configuration(
+            operation_region_set(layout, stack_mask, heap))
 
     def _heap_region(self) -> tuple[int, int]:
         pieces = covering_regions(self.image.heap_base, self.image.heap_size)
@@ -327,12 +316,13 @@ class OpecMonitor(RuntimeHooks):
         self._victim_rotation += 1
         for piece_base, piece_size in covering_regions(base, size):
             if piece_base <= address < piece_base + piece_size:
-                self.machine.mpu.set_region(MPURegion(
+                self.machine.enforcement.set_region(MPURegion(
                     number=victim, base=piece_base, size=piece_size,
                     priv="RW", unpriv="RW",
                 ))
                 self.machine.stats.peripheral_region_switches += 1
-                self.machine.consume(REGION_SWITCH_COST)
+                self.machine.consume(
+                    self.machine.enforcement.region_switch_cost)
                 recorder = self.machine.recorder
                 if recorder is not None:
                     recorder.instant(

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..interp.costs import SWITCH_BASE_COST
 from ..partition.operations import Operation
 from .monitor import OpecMonitor
 
@@ -58,7 +57,7 @@ class ThreadSupport:
         MPU reconfiguration."""
         target = self.threads[to_thread]
         machine = self.monitor.machine
-        machine.consume(SWITCH_BASE_COST)
+        machine.consume(machine.enforcement.switch_base_cost)
         self.switches += 1
 
         with machine.privileged_mode():

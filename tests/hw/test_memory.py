@@ -37,6 +37,47 @@ class TestRam:
         assert ram.read(0, 1) == 0xFF
 
 
+class TestBulkBounds:
+    """Regression: bulk accesses leaving the region used to fail
+    silently — ``read_bytes`` returned short data (Python slicing past
+    the end), ``write_bytes`` *grew* the backing bytearray.  Both must
+    raise :class:`HardFault` like every other out-of-range access."""
+
+    def test_read_past_end_faults(self):
+        ram = RamRegion("r", 0x20000000, 0x10)
+        with pytest.raises(HardFault, match="leaves region"):
+            ram.read_bytes(0x20000008, 0x10)
+
+    def test_read_below_base_faults(self):
+        ram = RamRegion("r", 0x20000000, 0x10)
+        with pytest.raises(HardFault, match="leaves region"):
+            ram.read_bytes(0x1FFFFFFC, 8)
+
+    def test_write_past_end_faults_and_does_not_grow(self):
+        ram = RamRegion("r", 0x20000000, 0x10)
+        with pytest.raises(HardFault, match="leaves region"):
+            ram.write_bytes(0x2000000C, b"\xAA" * 8)
+        assert len(ram.data) == 0x10  # backing store must not grow
+
+    def test_exact_fit_still_allowed(self):
+        ram = RamRegion("r", 0x20000000, 0x10)
+        ram.write_bytes(0x20000000, b"\x55" * 0x10)
+        assert ram.read_bytes(0x20000000, 0x10) == b"\x55" * 0x10
+
+    def test_map_bulk_read_crossing_region_end_faults(self):
+        memory = MemoryMap()
+        memory.map(RamRegion("a", 0x0, 0x10))
+        with pytest.raises(HardFault, match="bulk read crosses"):
+            memory.read_bytes(0x08, 0x10)
+
+    def test_map_bulk_write_crossing_region_end_faults(self):
+        memory = MemoryMap()
+        region = memory.map(RamRegion("a", 0x0, 0x10))
+        with pytest.raises(HardFault, match="bulk write crosses"):
+            memory.write_bytes(0x08, b"\xAA" * 0x10)
+        assert len(region.data) == 0x10
+
+
 class TestFlash:
     def test_runtime_write_faults(self):
         flash = FlashRegion("f", 0x08000000, 0x100)

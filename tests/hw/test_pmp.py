@@ -107,6 +107,70 @@ class TestRegionCompilation:
         with pytest.raises(ValueError, match="PMP entries"):
             compile_regions_to_pmp(regions)
 
+    def test_disabled_region_compiles_to_nothing(self):
+        """Regression: disabled regions used to compile into live PMP
+        entries (``enabled`` was never consulted)."""
+        region = MPURegion(number=3, base=0x20000000, size=0x200,
+                           priv="RW", unpriv="RW", enabled=False)
+        assert compile_regions_to_pmp([region]) == []
+
+    def test_disabled_region_does_not_shadow_lower_region(self):
+        """The concrete damage of the bug: a disabled high-priority RW
+        region over an NA region used to grant the access the MPU
+        denies."""
+        deny = MPURegion(number=1, base=0x20000000, size=0x200,
+                         priv="RW", unpriv="NA")
+        ghost = MPURegion(number=5, base=0x20000000, size=0x200,
+                          priv="RW", unpriv="RW", enabled=False)
+        mpu = MPU(enabled=True)
+        adapter = PmpProtection()
+        for region in (deny, ghost):
+            mpu.set_region(region)
+            adapter.set_region(region)
+        adapter.enabled = True
+        assert not mpu.allows(0x20000010, 4, False, False)
+        assert not adapter.allows(0x20000010, 4, False, False)
+
+
+class TestPmpProtectionSemantics:
+    def test_privdefena_wired_into_no_match_path(self):
+        """Regression: ``privdefena`` was assigned but never consulted —
+        privileged no-match accesses succeeded even with it clear."""
+        adapter = PmpProtection()
+        adapter.enabled = True
+        assert adapter.allows(0x20000000, 4, True, False)
+        adapter.privdefena = False
+        assert not adapter.allows(0x20000000, 4, True, False)
+        # Unprivileged no-match is denied either way.
+        assert not adapter.allows(0x20000000, 4, False, False)
+
+    def test_decision_cache_dropped_on_configuration_epoch(self):
+        adapter = PmpProtection()
+        adapter.enabled = True
+        region = MPURegion(number=2, base=0x20000000, size=0x100,
+                           priv="RW", unpriv="RW")
+        adapter.set_region(region)
+        epoch = adapter.epoch
+        assert adapter.allows(0x20000010, 4, False, True)
+        assert adapter._decisions  # verdict memoised
+        adapter.clear_region(2)
+        assert adapter.epoch == epoch + 1
+        assert not adapter._decisions
+        assert not adapter.allows(0x20000010, 4, False, True)
+
+    def test_snapshot_restore_roundtrip(self):
+        adapter = PmpProtection()
+        adapter.enabled = True
+        region = MPURegion(number=4, base=0x20000000, size=0x100,
+                           priv="RW", unpriv="RO")
+        adapter.set_region(region)
+        saved = adapter.snapshot()
+        adapter.load_configuration([])
+        assert not adapter.allows(0x20000010, 4, False, False)
+        adapter.restore(saved)
+        assert adapter.allows(0x20000010, 4, False, False)
+        assert not adapter.allows(0x20000010, 4, False, True)
+
 
 sizes = st.sampled_from([32 << i for i in range(16)])
 addresses = st.integers(min_value=0, max_value=0x3FFFFFFF)
@@ -122,6 +186,7 @@ def mpu_regions(draw):
         priv="RW",
         unpriv=draw(st.sampled_from(["NA", "RO", "RW"])),
         subregion_disable=draw(st.integers(0, 255)),
+        enabled=draw(st.booleans()),
     )
 
 
