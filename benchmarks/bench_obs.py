@@ -104,10 +104,12 @@ def main() -> int:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_obs.json"
 
     # Canonical harness reference (same workload, same code path,
-    # machine left entirely untouched by this script).
+    # machine left entirely untouched by this script).  The compiled
+    # (block-compile on) number is the reference: that is the default
+    # execution tier this script's own runs use.
     from bench_regress import bench_vanilla_throughput
 
-    reference = bench_vanilla_throughput()
+    reference, _singlestep = bench_vanilla_throughput()
     throughput_off = bench_throughput(traced=False)
     throughput_on = bench_throughput(traced=True)
     pinlock_off = bench_pinlock(traced=False)

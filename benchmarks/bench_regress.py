@@ -1,24 +1,37 @@
 #!/usr/bin/env python
 """Interpreter performance regression harness.
 
-Runs two fixed workloads and emits ``BENCH_interp.json`` so future
+Runs a fixed set of workloads and emits ``BENCH_interp.json`` so future
 changes have a perf trajectory to compare against:
 
 * ``vanilla_throughput`` — a tight arithmetic/memory loop on the bare
-  interpreter (the substrate's instructions-per-second);
+  interpreter with block compilation **on** (the headline
+  instructions-per-second of the substrate);
+* ``vanilla_throughput_singlestep`` — the same loop with block
+  compilation forced **off**, continuing the pre-superinstruction
+  trajectory (and pinning that the two modes agree bit-for-bit);
 * ``pinlock_opec`` — the PinLock application under full OPEC
   enforcement (operation switches, MPU faults, SysTick, core-peripheral
-  emulation) — the end-to-end hot path;
+  emulation), single-step mode — the historical end-to-end trajectory;
 * ``pinlock_opec_pmp`` / ``pinlock_opec_overlay`` — the same firmware
-  on the other enforcement backends, so each substrate's arbitration
-  path (PMP entry scan + decision cache, overlay interval bisect) has
-  its own throughput trajectory.
+  on the other enforcement backends (single-step), so each substrate's
+  arbitration path (PMP entry scan + decision cache, overlay interval
+  bisect) has its own throughput trajectory;
+* ``pinlock_opec_blockcompile`` — PinLock/OPEC/mpu with block
+  compilation on: the superinstruction path through the monitor,
+  SVC boundaries, and MemManage retries;
+* ``batch_throughput`` — N lanes of the throughput firmware
+  multiplexed through one process by the batch runner, sharing one
+  image and one set of compiled block closures.
 
 For each workload the report records host wall-clock seconds *and* the
 simulated quantities (``cycles``, instructions, ``MachineStats``).
 Wall-clock is the number optimisations may move; the simulated numbers
-are the determinism contract — they must never change (see DESIGN.md,
-"Performance & determinism").
+are the determinism contract — they must never change, and must not
+depend on block compilation or batching (see DESIGN.md, "Performance &
+determinism").  The harness enforces the latter directly: compiled
+results are compared field-by-field against single-step results and a
+mismatch fails the run.
 
 Usage:  PYTHONPATH=src python benchmarks/bench_regress.py [out.json]
 """
@@ -38,8 +51,10 @@ import repro.ir as ir  # noqa: E402
 from repro import build_opec, run_image  # noqa: E402
 from repro.hw import Machine, stm32f4_discovery  # noqa: E402
 from repro.image import build_vanilla_image  # noqa: E402
-from repro.interp import Interpreter  # noqa: E402
+from repro.interp import BatchRunner, Interpreter  # noqa: E402
 from repro.ir import I32  # noqa: E402
+
+BATCH_LANES = 8
 
 
 def _throughput_module(iterations: int = 100_000):
@@ -53,12 +68,24 @@ def _throughput_module(iterations: int = 100_000):
     return module
 
 
-def bench_vanilla_throughput() -> dict:
+def _check_identical(name: str, compiled: dict, reference: dict) -> None:
+    """Fail loudly if a compiled run's simulated numbers drift."""
+    keys = ("instructions", "cycles", "stats", "halt_code", "switches")
+    for key in keys:
+        if key in compiled and key in reference \
+                and compiled[key] != reference[key]:
+            raise SystemExit(
+                f"{name}: {key} diverged between block-compiled and "
+                f"single-step runs: {compiled[key]!r} != {reference[key]!r}")
+
+
+def _run_throughput(block_compile: bool) -> dict:
     board = stm32f4_discovery()
     image = build_vanilla_image(_throughput_module(), board)
     machine = Machine(board)
     image.initialize_memory(machine)
-    interp = Interpreter(machine, image, max_instructions=10_000_000)
+    interp = Interpreter(machine, image, max_instructions=10_000_000,
+                         block_compile=block_compile)
     start = time.perf_counter()
     interp.run()
     wall = time.perf_counter() - start
@@ -71,7 +98,15 @@ def bench_vanilla_throughput() -> dict:
     }
 
 
-def bench_pinlock_opec(backend: str = "mpu") -> dict:
+def bench_vanilla_throughput() -> tuple[dict, dict]:
+    compiled = _run_throughput(block_compile=True)
+    singlestep = _run_throughput(block_compile=False)
+    _check_identical("vanilla_throughput", compiled, singlestep)
+    return compiled, singlestep
+
+
+def bench_pinlock_opec(backend: str = "mpu",
+                       block_compile: bool = False) -> dict:
     from repro.apps import pinlock
 
     app = pinlock.build(rounds=2)
@@ -79,7 +114,7 @@ def bench_pinlock_opec(backend: str = "mpu") -> dict:
     start = time.perf_counter()
     result = run_image(artifacts.image, setup=app.setup,
                        max_instructions=app.max_instructions,
-                       backend=backend)
+                       backend=backend, block_compile=block_compile)
     wall = time.perf_counter() - start
     app.verify_run(result.machine, result.halt_code)
     return {
@@ -91,16 +126,58 @@ def bench_pinlock_opec(backend: str = "mpu") -> dict:
     }
 
 
+def bench_batch_throughput(lanes: int = BATCH_LANES) -> dict:
+    """N throughput lanes through one process, sharing image + blocks."""
+    board = stm32f4_discovery()
+    image = build_vanilla_image(_throughput_module(), board)
+    solo = _run_throughput(block_compile=True)
+    runner = BatchRunner(block_compile=True)
+    for _ in range(lanes):
+        runner.add(image, max_instructions=10_000_000)
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    total_insts = 0
+    for lane in result.lanes:
+        if lane.error is not None:
+            raise SystemExit(f"batch_throughput: {lane.name} died: "
+                             f"{lane.error}")
+        lane_report = {
+            "instructions": lane.interpreter.instructions_executed,
+            "cycles": lane.machine.cycles,
+            "stats": lane.machine.stats.as_dict(),
+        }
+        _check_identical(f"batch_throughput/{lane.name}", lane_report, solo)
+        total_insts += lane.interpreter.instructions_executed
+    return {
+        "wall_clock_s": round(wall, 4),
+        "lanes": lanes,
+        "instructions": total_insts,
+        "cycles_per_lane": result.lanes[0].machine.cycles,
+        "insts_per_s": round(total_insts / wall),
+        "compile_metrics":
+            result.compile_metrics.snapshot()["counters"],
+    }
+
+
 def main() -> int:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_interp.json"
+    throughput, throughput_singlestep = bench_vanilla_throughput()
+    pinlock_mpu = bench_pinlock_opec()
+    pinlock_compiled = bench_pinlock_opec(block_compile=True)
+    _check_identical("pinlock_opec_blockcompile", pinlock_compiled,
+                     pinlock_mpu)
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": {
-            "vanilla_throughput": bench_vanilla_throughput(),
-            "pinlock_opec": bench_pinlock_opec(),
+            "vanilla_throughput": throughput,
+            "vanilla_throughput_singlestep": throughput_singlestep,
+            "pinlock_opec": pinlock_mpu,
             "pinlock_opec_pmp": bench_pinlock_opec("pmp"),
             "pinlock_opec_overlay": bench_pinlock_opec("overlay"),
+            "pinlock_opec_blockcompile": pinlock_compiled,
+            "batch_throughput": bench_batch_throughput(),
         },
     }
     out.write_text(json.dumps(report, indent=2) + "\n")

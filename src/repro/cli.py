@@ -17,6 +17,9 @@ Usage (``python -m repro.cli <command>``):
   (counters + cycle histograms);
 * ``cache stats|clear|verify|fingerprint`` — inspect or maintain the
   content-addressed artifact cache (see ``REPRO_CACHE``);
+* ``bench batch APP [--lanes N]`` — multiplex N copies of a build
+  through one process via the batch runner (lane count defaults to
+  ``REPRO_BATCH``) and report per-lane results plus throughput;
 * ``attack`` — the PinLock §6.1 case-study demo.
 """
 
@@ -218,6 +221,43 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import time
+
+    from .eval.workloads import build_app, opec_artifacts
+    from .interp.batch import BatchRunner, batch_lanes
+    from .pipeline import build_vanilla
+
+    _pin_backend(args)
+    lanes = args.lanes if args.lanes is not None else batch_lanes()
+    app = build_app(args.app, profile=args.profile)
+    if args.build == "opec":
+        image = opec_artifacts(args.app, profile=args.profile).image
+    else:
+        image = build_vanilla(app.module, app.board)
+    runner = BatchRunner()
+    for _ in range(lanes):
+        runner.add(image, setup=app.setup,
+                   max_instructions=app.max_instructions)
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    insts = 0
+    for lane in result.lanes:
+        if lane.error is not None:
+            print(f"{lane.name}: ERROR {lane.error}")
+            continue
+        executed = lane.interpreter.instructions_executed
+        insts += executed
+        print(f"{lane.name}: halt={lane.halt_code} "
+              f"cycles={lane.cycles} insts={executed}")
+    rate = insts / wall if wall else 0.0
+    print(f"{lanes} lanes [{args.build}] of {args.app}: "
+          f"{insts} instructions in {wall:.3f}s ({rate:,.0f} insts/s)")
+    print(result.compile_metrics.render("aggregate compile metrics"))
+    return 1 if result.failed else 0
+
+
 def _cmd_attack(_args) -> int:
     import runpy
     from pathlib import Path
@@ -327,6 +367,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune", action="store_true",
         help="with verify: delete corrupt entries")
     cache_cmd.set_defaults(func=_cmd_cache)
+
+    bench = sub.add_parser(
+        "bench", help="performance harnesses (batched simulation)")
+    bench.add_argument("mode", choices=["batch"])
+    bench.add_argument("app")
+    bench.add_argument("--build", default="opec",
+                       choices=["vanilla", "opec"])
+    bench.add_argument("--lanes", type=int, default=None,
+                       help="lane count (default: REPRO_BATCH or 8)")
+    bench.add_argument("--profile", default="quick",
+                       choices=["quick", "paper"])
+    bench.add_argument("--backend", default=None, choices=BACKEND_CHOICES,
+                       help="enforcement backend (default: REPRO_BACKEND "
+                            "or mpu)")
+    bench.set_defaults(func=_cmd_bench)
 
     sub.add_parser("attack", help="PinLock case-study demo").set_defaults(
         func=_cmd_attack)

@@ -115,6 +115,25 @@ class EnforcementBackend(abc.ABC):
     def invalidate(self) -> None:
         """Start a new configuration epoch, dropping cached verdicts."""
 
+    # -- epoch-specialised arbitration ----------------------------------
+
+    def fast_allows(self):
+        """An arbitration callable specialised for the current ``epoch``.
+
+        The block compiler's fault-free load/store path calls the
+        returned callable instead of :meth:`allows`.  The contract: the
+        callable must arbitrate identically to :meth:`allows` for as
+        long as ``self.epoch`` keeps its current value — callers
+        re-validate ``(backend identity, epoch)`` before every use and
+        rebind after any mismatch (see ``Machine._refresh_fast_path``),
+        so a specialisation may capture structures that
+        :meth:`invalidate` replaces (e.g. the verdict memo dict) but
+        must read live any state that changes *without* an epoch bump
+        (``enabled``, ``privdefena``).  The default is :meth:`allows`
+        itself, which is trivially valid for every epoch.
+        """
+        return self.allows
+
 
 BackendSpec = Union[str, EnforcementBackend]
 

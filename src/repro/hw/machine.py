@@ -18,6 +18,7 @@ runtime-overhead numbers (Figure 9) are deterministic.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
 from typing import Optional
 
@@ -110,7 +111,9 @@ class Machine:
         self.privileged = True
         self.base_privilege = True
         self.cycles = 0
-        self.pending_irqs: list[int] = []
+        # A deque: the interpreter delivers from the left once per
+        # instruction boundary, devices latch on the right.
+        self.pending_irqs: deque[int] = deque()
         self._systick_armed = False
         self._systick_period = 0
         self._systick_next = 0
@@ -124,6 +127,13 @@ class Machine:
         self._n_stores = self.stats.counter("stores")
         self._n_bus_faults = self.stats.counter("bus_faults")
         self._n_memmanage = self.stats.counter("memmanage_faults")
+        # Epoch-scoped arbitration fast path: the block compiler's
+        # inlined accesses call ``_fp_allows`` after validating that
+        # ``(_fp_backend, _fp_epoch)`` still matches the live backend
+        # (see ``_refresh_fast_path``).
+        self._fp_backend = None
+        self._fp_epoch = -1
+        self._fp_allows = None
         self.devices: dict[str, MMIODevice] = {}
         # Core PPB peripherals exist on every ARMv7-M part.
         from .peripherals.core import DWT, SCB, SysTick
@@ -191,13 +201,20 @@ class Machine:
     def consume(self, cycles: int) -> None:
         self.cycles += cycles
         if self._systick_armed and self.cycles >= self._systick_next:
-            self.pending_irqs.append(SYSTICK_IRQ)
-            # Re-arm past the current time: a long stall produces one
-            # (coalesced) tick, not an interrupt storm.
-            period = self._systick_period
-            self._systick_next += (
-                (self.cycles - self._systick_next) // period + 1
-            ) * period
+            self._systick_fire()
+
+    def _systick_fire(self) -> None:
+        """Pend a SysTick and re-arm past the current time.
+
+        Shared by :meth:`consume` and the block compiler's inlined
+        cycle charging, so coalescing behaves identically: a long
+        stall produces one tick, not an interrupt storm.
+        """
+        self.pending_irqs.append(SYSTICK_IRQ)
+        period = self._systick_period
+        self._systick_next += (
+            (self.cycles - self._systick_next) // period + 1
+        ) * period
 
     # -- interrupts ------------------------------------------------------
 
@@ -215,6 +232,21 @@ class Machine:
         self._systick_armed = False
 
     # -- checked accesses ------------------------------------------------
+
+    def _refresh_fast_path(self):
+        """(Re)bind the epoch-scoped arbitration fast path.
+
+        Called whenever a compiled access finds the cached
+        ``(_fp_backend, _fp_epoch)`` token stale — after a
+        configuration epoch bump, a backend swap, or on first use.
+        Returns the fresh callable so callers can use it in place.
+        """
+        enforcement = self.enforcement
+        fast = enforcement.fast_allows()
+        self._fp_backend = enforcement
+        self._fp_epoch = enforcement.epoch
+        self._fp_allows = fast
+        return fast
 
     def load(self, address: int, size: int) -> int:
         """A data read issued by executing code (MPU/PPB-checked)."""
@@ -272,6 +304,11 @@ class Machine:
         # another's (it would also defeat cache-temperature determinism).
         state = dict(self.__dict__)
         state["recorder"] = None
+        # The arbitration fast path is a closure (unpicklable) and is
+        # epoch-scoped anyway: a rehydrated machine rebinds on demand.
+        state["_fp_backend"] = None
+        state["_fp_epoch"] = -1
+        state["_fp_allows"] = None
         return state
 
     def __repr__(self) -> str:

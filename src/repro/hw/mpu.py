@@ -194,6 +194,28 @@ class MPU(EnforcementBackend):
             self._decisions[key] = verdict
         return verdict
 
+    def fast_allows(self):
+        """Epoch-scoped arbitration closure (base-class contract).
+
+        Captures this epoch's verdict memo and the arbitrator directly;
+        ``invalidate`` *replaces* ``_decisions``, so the captured dict
+        can never serve a later epoch.  ``enabled`` and ``privdefena``
+        flip without an epoch bump and are read live.
+        """
+        def fast(address, size, privileged, write, _self=self,
+                 _decisions=self._decisions, _arbitrate=self._arbitrate):
+            if not _self.enabled:
+                return True
+            key = (address >> 2, (address + size - 1) >> 2, privileged,
+                   write, _self.privdefena)
+            verdict = _decisions.get(key)
+            if verdict is None:
+                verdict = _arbitrate(address, size, privileged, write)
+                _decisions[key] = verdict
+            return verdict
+
+        return fast
+
     def _arbitrate(self, address: int, size: int, privileged: bool,
                    write: bool) -> bool:
         """The uncached §2.2 arbitration (first and last probe byte)."""

@@ -129,6 +129,27 @@ class OverlayProtection(EnforcementBackend):
             self._decisions[key] = verdict
         return verdict
 
+    def fast_allows(self):
+        """Epoch-scoped arbitration closure (base-class contract).
+
+        ``_recompile`` replaces the interval table and invalidates, so
+        the captured memo and table are epoch-safe; ``enabled`` and
+        ``privdefena`` are read live.
+        """
+        def fast(address, size, privileged, write, _self=self,
+                 _decisions=self._decisions, _arbitrate=self._arbitrate):
+            if not _self.enabled:
+                return True
+            key = (address >> 2, (address + size - 1) >> 2, privileged,
+                   write, _self.privdefena)
+            verdict = _decisions.get(key)
+            if verdict is None:
+                verdict = _arbitrate(address, size, privileged, write)
+                _decisions[key] = verdict
+            return verdict
+
+        return fast
+
     def _arbitrate(self, address: int, size: int, privileged: bool,
                    write: bool) -> bool:
         starts, perms = self._starts, self._perms

@@ -255,6 +255,30 @@ class PmpProtection(EnforcementBackend):
             self._decisions[key] = verdict
         return verdict
 
+    def fast_allows(self):
+        """Epoch-scoped arbitration closure (base-class contract).
+
+        ``_recompile`` both rebuilds ``self.pmp`` and calls
+        ``invalidate``, so capturing the entry scanner alongside the
+        verdict memo is epoch-safe; ``enabled``/``privdefena`` are
+        read live (they flip without an epoch bump).
+        """
+        def fast(address, size, privileged, write, _self=self,
+                 _decisions=self._decisions, _scan=self.pmp.allows):
+            if not _self.enabled:
+                return True
+            privdefena = _self.privdefena
+            key = (address >> 2, (address + size - 1) >> 2, privileged,
+                   write, privdefena)
+            verdict = _decisions.get(key)
+            if verdict is None:
+                verdict = _scan(address, size, privileged, write,
+                                privdefena)
+                _decisions[key] = verdict
+            return verdict
+
+        return fast
+
     def snapshot(self) -> list[Optional[MPURegion]]:
         return list(self.regions)
 

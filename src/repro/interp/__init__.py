@@ -11,6 +11,13 @@ from .costs import (
     SWITCH_BASE_COST,
     SYNC_WORD_COST,
 )
+from .batch import BatchLane, BatchResult, BatchRunner, batch_lanes
+from .blockcompile import (
+    BLOCKCOMPILE_OFF_VALUES,
+    BLOCKCOMPILE_ON_VALUES,
+    block_compile_enabled,
+    compile_block,
+)
 from .hooks import RuntimeHooks
 from .interpreter import ExecutionLimitExceeded, Frame, Interpreter
 
@@ -18,5 +25,8 @@ __all__ = [
     "CORE_EMULATION_COST", "DEFAULT_COST", "DIV_COST", "INSTRUCTION_COSTS",
     "REGION_SWITCH_COST", "SANITIZE_CHECK_COST", "STACK_RELOCATE_WORD_COST",
     "SWITCH_BASE_COST", "SYNC_WORD_COST",
+    "BLOCKCOMPILE_OFF_VALUES", "BLOCKCOMPILE_ON_VALUES",
+    "block_compile_enabled", "compile_block",
+    "BatchLane", "BatchResult", "BatchRunner", "batch_lanes",
     "RuntimeHooks", "ExecutionLimitExceeded", "Frame", "Interpreter",
 ]

@@ -1,0 +1,182 @@
+"""Batched simulation: N machines multiplexed through one process.
+
+Sweeps (backend comparisons, parameter scans, differential fuzzing)
+spend most of their wall-clock re-running the same firmware under
+slightly different stimuli.  One process per run pays the interpreter
+warm-up, image build, and block compilation N times; the batch runner
+pays them once:
+
+* **Shared immutable images.**  Lanes may share one image object
+  (typically served by the content-addressed artifact cache): images
+  are read-only after linking, and every machine initialises its own
+  memory from it.  Compiled block closures live on the shared IR
+  (``block._compiled``) and are image- and machine-independent by
+  construction, so lane 0's compilation warms every other lane.
+
+* **Block-granular round-robin.**  Each scheduling quantum is one
+  compiled-block entry (or one reference step on fallback paths) via
+  :meth:`~repro.interp.interpreter.Interpreter.advance`.  Lanes are
+  fully isolated — separate machines, monitors, recorders — so the
+  interleaving cannot change any lane's simulated outcome; a batched
+  lane's cycles, stats, and halt code are bit-identical to a solo run.
+
+* **Fault isolation.**  A lane that dies on a terminal
+  :class:`~repro.hw.exceptions.MachineError` records the error on its
+  lane and the rest of the fleet keeps running.
+
+``REPRO_BATCH`` supplies a default lane count for harnesses
+(``repro bench batch``); like the other knobs it validates loudly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..hw.exceptions import MachineError
+from ..hw.machine import Machine
+from ..obs.metrics import MetricsRegistry
+from .hooks import RuntimeHooks
+from .interpreter import Interpreter
+
+DEFAULT_LANES = 8
+
+
+def batch_lanes(default: int = DEFAULT_LANES) -> int:
+    """Lane count requested via ``REPRO_BATCH`` (default ``default``).
+
+    Misspellings raise instead of silently running a different sweep
+    width under a benchmark.
+    """
+    raw = os.environ.get("REPRO_BATCH", "").strip()
+    if raw == "":
+        return default
+    try:
+        lanes = int(raw)
+    except ValueError:
+        lanes = 0
+    if lanes < 1:
+        raise ValueError(
+            f"REPRO_BATCH={raw!r} is not a positive lane count"
+        )
+    return lanes
+
+
+@dataclass
+class BatchLane:
+    """One simulated machine in the fleet."""
+
+    name: str
+    machine: Machine
+    interpreter: Interpreter
+    hooks: RuntimeHooks
+    halt_code: Optional[int] = None
+    error: Optional[MachineError] = None
+    quanta: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.halt_code is not None or self.error is not None
+
+    @property
+    def cycles(self) -> int:
+        return self.machine.cycles
+
+
+@dataclass
+class BatchResult:
+    """Fleet outcome: per-lane results plus aggregate counters."""
+
+    lanes: list[BatchLane]
+    # Aggregated interpreter compile metrics (per-lane registries
+    # merged; order-independent, so deterministic).
+    compile_metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def failed(self) -> list[BatchLane]:
+        return [lane for lane in self.lanes if lane.error is not None]
+
+
+class BatchRunner:
+    """Round-robin executor for a fleet of simulated machines.
+
+    Usage::
+
+        runner = BatchRunner()
+        for stimulus in stimuli:
+            runner.add(image, setup=stimulus, name=...)
+        result = runner.run()
+
+    ``add`` mirrors :func:`repro.pipeline.run_image`'s machine
+    construction (same backend resolution, same automatic monitor
+    selection) so a batched lane runs under exactly the runtime a solo
+    ``run_image`` would.
+    """
+
+    def __init__(self, *, block_compile: Optional[bool] = None):
+        self.block_compile = block_compile
+        self.lanes: list[BatchLane] = []
+
+    def add(
+        self,
+        image,
+        *,
+        name: Optional[str] = None,
+        hooks: Optional[RuntimeHooks] = None,
+        setup: Optional[Callable[[Machine], None]] = None,
+        entry: str = "main",
+        args: Sequence[int] = (),
+        max_instructions: int = 100_000_000,
+        backend=None,
+        recorder=None,
+    ) -> BatchLane:
+        """Stage one lane: fresh machine, loaded image, entry pushed."""
+        # Deferred import: pipeline imports this package's interpreter.
+        from ..pipeline import default_hooks, prepare_machine
+
+        machine = prepare_machine(image, setup=setup, recorder=recorder,
+                                  backend=backend)
+        if hooks is None:
+            hooks = default_hooks(machine, image)
+        interp = Interpreter(machine, image, hooks,
+                             max_instructions=max_instructions,
+                             block_compile=self.block_compile)
+        interp.start(entry, tuple(args))
+        lane = BatchLane(
+            name=name or f"lane{len(self.lanes)}",
+            machine=machine, interpreter=interp, hooks=interp.hooks,
+        )
+        self.lanes.append(lane)
+        return lane
+
+    def run(self) -> BatchResult:
+        """Drive every lane to halt (or terminal fault), round-robin."""
+        active = list(self.lanes)
+        while active:
+            still = []
+            for lane in active:
+                try:
+                    running = lane.interpreter.advance()
+                except MachineError as error:
+                    lane.error = error
+                    continue
+                lane.quanta += 1
+                if running:
+                    still.append(lane)
+                else:
+                    lane.halt_code = lane.interpreter.halt_code
+            active = still
+        result = BatchResult(lanes=list(self.lanes))
+        for lane in self.lanes:
+            result.compile_metrics.merge(lane.interpreter.compile_metrics)
+        return result
+
+
+__all__ = [
+    "DEFAULT_LANES",
+    "BatchLane",
+    "BatchResult",
+    "BatchRunner",
+    "batch_lanes",
+]

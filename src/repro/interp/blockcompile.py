@@ -1,0 +1,795 @@
+"""Superinstruction compilation: one Python closure per basic block.
+
+PR 1 made per-instruction dispatch cheap (``inst._hot``); the next
+factor requires not dispatching at all.  This module compiles each
+:class:`~repro.ir.function.BasicBlock` once into a single generated
+function — the straight-line handler chain fused into one code object —
+cached on the block (``block._compiled``) and shared by every
+interpreter executing it.
+
+Design constraints (DESIGN.md, "Superinstruction compilation"):
+
+* **Bit-identical semantics.**  The generated code charges the same
+  cycles at the same points (``machine.cycles`` plus the SysTick
+  check — an inlined ``Machine.consume``), bumps the same
+  ``MachineStats`` counter cells in the same order, delivers pending
+  IRQs at the same instruction boundaries, and routes faults through
+  the same ``Interpreter._retry_access`` path as single-step
+  execution.  ``tools/check_determinism.py`` runs the full export with
+  block compilation on and off and byte-compares everything.
+
+* **Image independence.**  The same IR objects may be linked into
+  several images (and shared by batch-runner lanes), so generated code
+  resolves every image- or machine-specific value at run time through
+  the executing interpreter: globals via
+  ``interp.hooks.global_address``, function addresses and the stack
+  limit via ``interp.image``.  Only genuinely immutable facts are
+  folded at compile time: operand slots, constant values, cycle
+  costs, access sizes/masks, GEP strides and struct offsets, branch
+  targets.
+
+* **Epoch-scoped access fast path.**  Loads/stores inline the exact
+  body of ``Machine.load``/``store`` but arbitrate through the
+  backend's :meth:`~repro.hw.backend.EnforcementBackend.fast_allows`
+  specialisation, validated against the decision-cache epoch at block
+  entry and re-validated after every fault retry (the only point
+  inside a block where the monitor can reconfigure enforcement; the
+  SVC/call/return seams leave the block entirely).
+
+* **Single-step fallback.**  The compiled function returns to the
+  interpreter loop — with ``frame.index`` and
+  ``interp.instructions_executed`` synced — at every suspension
+  point: pending IRQs, SVCs, calls, returns.  IRQ windows, delivery
+  boundaries, and uncompilable blocks run through the unmodified
+  ``step()``, so the trickiest interleavings always execute on the
+  reference path.
+
+* **Fault-exact fallback.**  Register fetches always precede side
+  effects, so a missing register (KeyError) replays the instruction
+  through its single-step handler (:func:`_undef`), which raises the
+  canonical "use of undefined value" HardFault.  Shapes the compiler
+  does not specialise (runtime struct indices, unknown ops) delegate
+  to ``Interpreter._execute`` mid-block.
+
+``REPRO_BLOCKCOMPILE`` (default **on**) gates the whole mechanism;
+unknown spellings raise loudly, matching ``REPRO_TRACE``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from ..hw.board import PPB_BASE as _PPB_BASE, PPB_END as _PPB_END
+from ..hw.exceptions import BusFault, HardFault, MemManageFault
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GEP,
+    Halt,
+    ICall,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Ret,
+    Select,
+    Store,
+    SVC,
+    Unreachable,
+)
+from ..ir.types import ArrayType, IntType, StructType
+from ..ir.values import (
+    Constant,
+    ConstantNull,
+    ConstantPointer,
+    GlobalVariable,
+    Parameter,
+)
+from .costs import DEFAULT_COST, DIV_COST, INSTRUCTION_COSTS
+
+_WORD = 0xFFFFFFFF
+_DIV_OPS = ("udiv", "sdiv", "urem", "srem")
+
+#: Accepted ``REPRO_BLOCKCOMPILE`` spellings.  Anything else raises.
+#: Unset/empty means **on** — block compilation is the default mode.
+BLOCKCOMPILE_ON_VALUES = frozenset({"", "on", "1", "true", "yes", "enabled"})
+BLOCKCOMPILE_OFF_VALUES = frozenset({"off", "0", "none", "false", "disabled"})
+
+_BINOP_SYMBOLS = {"add": "+", "sub": "-", "mul": "*",
+                  "and": "&", "or": "|", "xor": "^"}
+_ICMP_SYMBOLS = {"eq": "==", "ne": "!=",
+                 "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+                 "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
+_ICMP_SIGNED = frozenset({"slt", "sle", "sgt", "sge"})
+
+
+def block_compile_enabled() -> bool:
+    """Whether ``REPRO_BLOCKCOMPILE`` asks for compiled-block execution.
+
+    Defaults to on; misspellings raise instead of silently changing
+    the execution mode under a benchmark or a determinism check.
+    """
+    raw = os.environ.get("REPRO_BLOCKCOMPILE", "").strip().lower()
+    if raw in BLOCKCOMPILE_ON_VALUES:
+        return True
+    if raw in BLOCKCOMPILE_OFF_VALUES:
+        return False
+    raise ValueError(
+        f"REPRO_BLOCKCOMPILE={raw!r} is not a recognised setting; "
+        f"use one of {sorted(BLOCKCOMPILE_ON_VALUES - {''})} or "
+        f"{sorted(BLOCKCOMPILE_OFF_VALUES)}"
+    )
+
+
+def _undef(interp, frame, inst) -> None:
+    """Cold path: a register operand was missing (KeyError on fetch).
+
+    Generated code performs all register fetches before any side
+    effect, so the instruction can be replayed through its single-step
+    handler, which raises the canonical "use of undefined value"
+    HardFault with the exact message single-step execution produces.
+    """
+    interp._execute(frame, inst)
+    # The replay must raise (the register really is absent); reaching
+    # here means the compiled fetch and the handler disagree.
+    raise HardFault(f"operand KeyError replaying {inst!r}")
+
+
+def _fold_signed(value: int, bits: int) -> int:
+    """Compile-time twos-complement fold (mirrors ``_to_signed``)."""
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _inst_cost(inst: Instruction) -> int:
+    cost = INSTRUCTION_COSTS.get(inst.opcode, DEFAULT_COST)
+    if isinstance(inst, BinOp) and inst.op in _DIV_OPS:
+        cost = DIV_COST
+    return cost
+
+
+class _Emitted:
+    """One instruction's generated statements plus emission metadata.
+
+    ``fetch`` holds the statements that may raise KeyError on a
+    missing register (always free of side effects beyond scratch
+    locals / idempotent register writes); ``body`` holds the
+    side-effecting remainder.  Unguarded instructions keep everything
+    in ``body``.
+    """
+
+    __slots__ = ("fetch", "body", "transfers", "pure")
+
+    def __init__(self, body: list[str], *, fetch: Optional[list[str]] = None,
+                 transfers: bool = False, pure: bool = False):
+        self.fetch = fetch or []
+        self.body = body
+        self.transfers = transfers  # ends with `return`
+        self.pure = pure            # eligible for the batched pure path
+
+    @property
+    def guarded(self) -> bool:
+        return bool(self.fetch)
+
+
+class _BlockCompiler:
+    """Emits and ``exec``s the superinstruction source for one block."""
+
+    def __init__(self, block: BasicBlock):
+        self.block = block
+        function = block.parent
+        self.fname = function.name if function is not None else "?"
+        self.ns: dict = {}
+        self._obj_names: dict[int, str] = {}
+        self._counter = 0
+
+    # -- namespace bindings -------------------------------------------
+
+    def _bind(self, obj, prefix: str = "O") -> str:
+        name = self._obj_names.get(id(obj))
+        if name is None:
+            self._counter += 1
+            name = f"_{prefix}{self._counter}"
+            self._obj_names[id(obj)] = name
+            self.ns[name] = obj
+        return name
+
+    # -- operand expressions ------------------------------------------
+
+    def _operand(self, value) -> tuple[str, bool]:
+        """``(expression, needs_keyerror_guard)`` for one operand.
+
+        Mirrors ``Interpreter.eval``'s classification; register
+        operands compile to a plain dict fetch and everything
+        image-specific stays a runtime call through ``interp``.
+        """
+        if isinstance(value, Constant):
+            return repr(value.value & value.type.mask), False
+        if isinstance(value, ConstantPointer):
+            return repr(value.address), False
+        if isinstance(value, ConstantNull):
+            return "0", False
+        if isinstance(value, GlobalVariable):
+            name = self._bind(value, "G")
+            return (f"(interp.hooks.global_address(interp, {name})"
+                    f" & {_WORD})"), False
+        if isinstance(value, Function):
+            name = self._bind(value, "F")
+            return f"interp.image.function_address({name})", False
+        if isinstance(value, (Parameter, Instruction)):
+            return f"regs[{self._bind(value, 'V')}]", True
+        # Exotic Value subclasses: defer to the reference evaluator.
+        return f"interp.eval(frame, {self._bind(value, 'V')})", False
+
+    # -- shared snippets ----------------------------------------------
+
+    def _flush(self, i: int) -> list[str]:
+        return ["interp.instructions_executed = n",
+                f"frame.index = {i}"]
+
+    _FP_BIND = [
+        "enf = machine.enforcement",
+        "if enf is machine._fp_backend and enf.epoch == machine._fp_epoch:",
+        "    allows = machine._fp_allows",
+        "else:",
+        "    allows = machine._refresh_fast_path()",
+    ]
+
+    # -- per-instruction emitters -------------------------------------
+    #
+    # Statements assume locals ``interp, frame, machine, regs, pending,
+    # n, maxi`` (plus the memory hoists when the block touches memory).
+    # Register fetches always land in ``fetch`` so the KeyError guard
+    # can replay through ``_undef`` before any side effect happens.
+
+    def _emit(self, i: int, inst: Instruction) -> _Emitted:
+        if isinstance(inst, BinOp):
+            return self._emit_binop(i, inst)
+        if isinstance(inst, Load):
+            return self._emit_load(i, inst)
+        if isinstance(inst, Store):
+            return self._emit_store(i, inst)
+        if isinstance(inst, ICmp):
+            return self._emit_icmp(i, inst)
+        if isinstance(inst, Cast):
+            return self._emit_cast(i, inst)
+        if isinstance(inst, GEP):
+            return self._emit_gep(i, inst)
+        if isinstance(inst, Select):
+            return self._emit_select(i, inst)
+        if isinstance(inst, Alloca):
+            return self._emit_alloca(i, inst)
+        if isinstance(inst, Call):
+            return self._emit_call(i, inst)
+        if isinstance(inst, ICall):
+            return self._emit_icall(i, inst)
+        if isinstance(inst, SVC):
+            return self._emit_svc(i, inst)
+        if isinstance(inst, Br):
+            return self._emit_br(i, inst)
+        if isinstance(inst, Jump):
+            return self._emit_jump(i, inst)
+        if isinstance(inst, Ret):
+            return self._emit_ret(i, inst)
+        if isinstance(inst, Halt):
+            return self._emit_halt(i, inst)
+        if isinstance(inst, Unreachable):
+            return self._emit_unreachable(i, inst)
+        return self._emit_escape(i, inst)
+
+    def _emit_escape(self, i: int, inst: Instruction) -> _Emitted:
+        """Delegate one instruction to its single-step handler.
+
+        Used for shapes the compiler does not specialise (runtime
+        struct indices, unknown ops): the handler runs with
+        ``frame.index`` synced, advances it itself, and raises exactly
+        what single-step execution would.  Never used for control
+        transfers, so straight-line emission continues after it.
+        """
+        iname = self._bind(inst, "I")
+        return _Emitted(self._flush(i) + [
+            f"interp._execute(frame, {iname})",
+        ])
+
+    def _emit_binop(self, i: int, inst: BinOp) -> _Emitted:
+        a, ga = self._operand(inst.operands[0])
+        b, gb = self._operand(inst.operands[1])
+        bits = inst.type.bits if isinstance(inst.type, IntType) else 32
+        mask = (1 << bits) - 1
+        dst = self._bind(inst, "V")
+        op = inst.op
+        sym = _BINOP_SYMBOLS.get(op)
+        if sym is not None:
+            if op in ("and", "or", "xor"):
+                # The reference returns these unmasked.
+                stmts = [f"regs[{dst}] = {a} {sym} {b}"]
+            else:
+                stmts = [f"regs[{dst}] = ({a} {sym} {b}) & {mask}"]
+        elif op == "shl":
+            stmts = [f"regs[{dst}] = ({a} << ({b} & 31)) & {mask}"]
+        elif op == "lshr":
+            stmts = [f"regs[{dst}] = ({a} >> ({b} & 31)) & {mask}"]
+        elif op == "ashr":
+            stmts = [f"regs[{dst}] = (_ts({a}, {bits}) >> ({b} & 31))"
+                     f" & {mask}"]
+        elif op in ("udiv", "urem"):
+            pysym = "//" if op == "udiv" else "%"
+            stmts = [f"__x = {a}",
+                     f"__y = {b}",
+                     f"regs[{dst}] = (__x {pysym} __y) & {mask}"
+                     f" if __y else 0"]
+        elif op in ("sdiv", "srem"):
+            stmts = [f"__sa = _ts({a}, {bits})",
+                     f"__sb = _ts({b}, {bits})"]
+            if op == "sdiv":
+                stmts.append(f"regs[{dst}] = (_tdiv(__sa, __sb) & {mask})"
+                             f" if __sb else 0")
+            else:
+                stmts.append(f"regs[{dst}] = (__sa - _tdiv(__sa, __sb)"
+                             f" * __sb) & {mask} if __sb else 0")
+        else:
+            return self._emit_escape(i, inst)
+        if ga or gb:
+            return _Emitted([], fetch=stmts, pure=True)
+        return _Emitted(stmts, pure=True)
+
+    def _emit_icmp(self, i: int, inst: ICmp) -> _Emitted:
+        a, ga = self._operand(inst.operands[0])
+        b, gb = self._operand(inst.operands[1])
+        op0_type = inst.operands[0].type
+        bits = op0_type.bits if isinstance(op0_type, IntType) else 32
+        pred = inst.pred
+        sym = _ICMP_SYMBOLS.get(pred)
+        if sym is None:
+            return self._emit_escape(i, inst)
+        dst = self._bind(inst, "V")
+        if pred in _ICMP_SIGNED:
+            expr = f"_ts({a}, {bits}) {sym} _ts({b}, {bits})"
+        else:
+            expr = f"{a} {sym} {b}"
+        stmts = [f"regs[{dst}] = 1 if {expr} else 0"]
+        if ga or gb:
+            return _Emitted([], fetch=stmts, pure=True)
+        return _Emitted(stmts, pure=True)
+
+    def _emit_cast(self, i: int, inst: Cast) -> _Emitted:
+        a, guarded = self._operand(inst.operands[0])
+        kind = inst.kind
+        dst = self._bind(inst, "V")
+        dst_mask = (inst.type.mask if isinstance(inst.type, IntType)
+                    else _WORD)
+        if kind in ("zext", "ptrtoint", "inttoptr", "bitcast"):
+            stmts = [f"regs[{dst}] = {a} & {dst_mask}"]
+        elif kind == "trunc":
+            stmts = [f"regs[{dst}] = {a} & {inst.type.mask}"]
+        elif kind == "sext":
+            src = inst.operands[0].type
+            bits = src.bits if isinstance(src, IntType) else 32
+            stmts = [f"regs[{dst}] = _ts({a}, {bits}) & {dst_mask}"]
+        else:
+            return self._emit_escape(i, inst)
+        if guarded:
+            return _Emitted([], fetch=stmts, pure=True)
+        return _Emitted(stmts, pure=True)
+
+    def _emit_select(self, i: int, inst: Select) -> _Emitted:
+        cond, gc = self._operand(inst.operands[0])
+        a, ga = self._operand(inst.operands[1])
+        b, gb = self._operand(inst.operands[2])
+        dst = self._bind(inst, "V")
+        # A conditional expression keeps the unchosen arm lazy,
+        # matching single-step (which only evaluates the chosen one).
+        stmts = [f"regs[{dst}] = ({a}) if ({cond}) else ({b})"]
+        if gc or ga or gb:
+            return _Emitted([], fetch=stmts, pure=True)
+        return _Emitted(stmts, pure=True)
+
+    def _emit_gep(self, i: int, inst: GEP) -> _Emitted:
+        ptr, guarded = self._operand(inst.pointer)
+        indices = inst.indices
+        const_off = 0
+        terms: list[str] = []
+
+        def add_index(value, stride: int) -> None:
+            nonlocal const_off, guarded
+            if isinstance(value, Constant):
+                signed = _fold_signed(value.value & value.type.mask, 32)
+                const_off += signed * stride
+            else:
+                expr, g = self._operand(value)
+                guarded = guarded or g
+                terms.append(f"_ts({expr}, 32) * {stride}")
+
+        try:
+            pointee = inst.pointer.type.pointee
+            add_index(indices[0], pointee.size)
+            current = pointee
+            bad_walk = False
+            for index in indices[1:]:
+                if isinstance(current, ArrayType):
+                    add_index(index, current.stride)
+                    current = current.element
+                elif isinstance(current, StructType):
+                    if not isinstance(index, Constant):
+                        return self._emit_escape(i, inst)
+                    ival = index.value & index.type.mask
+                    const_off += current.offset_of(ival)
+                    current = current.field_type(ival)
+                else:
+                    bad_walk = True
+                    break
+        except Exception:
+            return self._emit_escape(i, inst)
+        # Masking once at the end equals the reference's per-step
+        # masking: addition mod 2**32 is associative.
+        parts = [ptr]
+        if const_off:
+            parts.append(str(const_off))
+        parts.extend(terms)
+        expr = f"({' + '.join(parts)}) & {_WORD}"
+        if bad_walk:
+            # The static type walk hit a non-aggregate: evaluate the
+            # operands gathered so far (an undefined register must
+            # still fault first, like single-step), then raise the
+            # handler's HardFault.
+            body = self._flush(i) + [
+                "raise HardFault('gep into non-aggregate at runtime')",
+            ]
+            if guarded:
+                return _Emitted(body, fetch=[f"__g = {expr}"],
+                                transfers=True)
+            return _Emitted([f"__g = {expr}"] + body, transfers=True)
+        dst = self._bind(inst, "V")
+        stmts = [f"regs[{dst}] = {expr}"]
+        if guarded:
+            return _Emitted([], fetch=stmts, pure=True)
+        return _Emitted(stmts, pure=True)
+
+    def _emit_alloca(self, i: int, inst: Alloca) -> _Emitted:
+        dst = self._bind(inst, "V")
+        msg = f"stack overflow in @{self.fname} (sp=0x%08X)"
+        return _Emitted([
+            f"interp.sp = __sp = (interp.sp - {inst.byte_size}) & -4",
+            "if __sp < interp.image.stack_limit:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            f"    raise HardFault({msg!r} % __sp)",
+            f"regs[{dst}] = __sp",
+        ])
+
+    def _emit_load(self, i: int, inst: Load) -> _Emitted:
+        addr, guarded = self._operand(inst.pointer)
+        size = inst.type.size
+        mask = (1 << (size * 8)) - 1
+        dst = self._bind(inst, "V")
+        fetch = [f"__a = {addr}"]
+        body = [
+            "n_loads.value += 1",
+            "__p = machine.privileged",
+            "try:",
+            f"    if not __p and {_PPB_BASE} <= __a < {_PPB_END}:",
+            "        n_bus.value += 1",
+            f"        raise BusFault(__a, {size}, False, value=0,"
+            f" is_ppb=True)",
+            f"    if allows(__a, {size}, __p, False):",
+            f"        __v = mem_read(__a, {size})",
+            "    else:",
+            "        n_mm.value += 1",
+            f"        raise MemManageFault(__a, {size}, False, value=0)",
+            "except (MemManageFault, BusFault) as __f:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            f"    __v = interp._retry_access("
+            f"lambda __a=__a: machine.load(__a, {size}), __f)",
+        ] + ["    " + line for line in self._FP_BIND] + [
+            # Unmapped accesses (and device models) raise HardFault
+            # straight out of mem_read: flush before it escapes.
+            "except Exception:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            "    raise",
+            f"regs[{dst}] = __v & {mask}",
+        ]
+        if guarded:
+            return _Emitted(body, fetch=fetch)
+        return _Emitted(fetch + body)
+
+    def _emit_store(self, i: int, inst: Store) -> _Emitted:
+        addr, ga = self._operand(inst.pointer)
+        value, gv = self._operand(inst.value)
+        size = inst.value.type.size
+        # Reference order: pointer first, then value.
+        fetch = [f"__a = {addr}", f"__v = {value}"]
+        body = [
+            "n_stores.value += 1",
+            "__p = machine.privileged",
+            "try:",
+            f"    if not __p and {_PPB_BASE} <= __a < {_PPB_END}:",
+            "        n_bus.value += 1",
+            f"        raise BusFault(__a, {size}, True, value=__v,"
+            f" is_ppb=True)",
+            f"    if allows(__a, {size}, __p, True):",
+            f"        mem_write(__a, {size}, __v)",
+            "    else:",
+            "        n_mm.value += 1",
+            f"        raise MemManageFault(__a, {size}, True, value=__v)",
+            "except (MemManageFault, BusFault) as __f:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            f"    interp._retry_access("
+            f"lambda __a=__a, __v=__v: machine.store(__a, {size}, __v)"
+            f" or 0, __f)",
+        ] + ["    " + line for line in self._FP_BIND] + [
+            # Unmapped accesses (and device models) raise HardFault
+            # straight out of mem_write: flush before it escapes.
+            "except Exception:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            "    raise",
+        ]
+        if ga or gv:
+            return _Emitted(body, fetch=fetch)
+        return _Emitted(fetch + body)
+
+    def _emit_call(self, i: int, inst: Call) -> _Emitted:
+        exprs = []
+        guarded = False
+        for arg in inst.operands:
+            expr, g = self._operand(arg)
+            exprs.append(expr)
+            guarded = guarded or g
+        callee = self._bind(inst.callee, "F")
+        iname = self._bind(inst, "I")
+        fetch = [f"__args = [{', '.join(exprs)}]"]
+        # ``_do_call`` advances frame.index past this call, runs the
+        # switch-point hooks, pushes the callee frame; we suspend, and
+        # the loop re-enters this block at i+1 after the return.
+        body = self._flush(i) + [
+            f"interp._do_call(frame, {iname}, {callee}, __args)",
+            "return",
+        ]
+        if guarded:
+            return _Emitted(body, fetch=fetch, transfers=True)
+        return _Emitted(fetch + body, transfers=True)
+
+    def _emit_icall(self, i: int, inst: ICall) -> _Emitted:
+        target, guarded = self._operand(inst.target)
+        exprs = []
+        for arg in inst.args:
+            expr, g = self._operand(arg)
+            exprs.append(expr)
+            guarded = guarded or g
+        iname = self._bind(inst, "I")
+        fetch = [
+            f"__t = {target}",
+            "__c = interp.image.function_at(__t)",
+            "if __c is None:",
+            "    interp.instructions_executed = n",
+            f"    frame.index = {i}",
+            "    raise HardFault("
+            "'icall to non-function address 0x%08X' % __t)",
+            f"__args = [{', '.join(exprs)}]",
+        ]
+        body = self._flush(i) + [
+            f"interp._do_call(frame, {iname}, __c, __args)",
+            "return",
+        ]
+        if guarded:
+            return _Emitted(body, fetch=fetch, transfers=True)
+        return _Emitted(fetch + body, transfers=True)
+
+    def _emit_svc(self, i: int, inst: SVC) -> _Emitted:
+        # SVC boundaries run the single-step handler and suspend the
+        # block: the monitor may switch operations, reconfigure
+        # enforcement, or change privilege, so the block is re-entered
+        # (re-hoisting every binding) at i+1.
+        iname = self._bind(inst, "I")
+        return _Emitted(self._flush(i) + [
+            f"interp._exec_svc(frame, {iname})",
+            "return",
+        ], transfers=True)
+
+    def _emit_br(self, i: int, inst: Br) -> _Emitted:
+        cond_op = inst.operands[0]
+        then_name = self._bind(inst.then_block, "B")
+        else_name = self._bind(inst.else_block, "B")
+        if isinstance(cond_op, Constant):
+            folded = cond_op.value & cond_op.type.mask
+            fetch = [f"__b = {then_name if folded else else_name}"]
+            guarded = False
+        else:
+            cond, guarded = self._operand(cond_op)
+            fetch = [f"__b = {then_name} if ({cond}) else {else_name}"]
+        body = [
+            "interp.instructions_executed = n",
+            "frame.block = __b",
+            "frame.index = 0",
+            "return",
+        ]
+        if guarded:
+            return _Emitted(body, fetch=fetch, transfers=True, pure=True)
+        return _Emitted(fetch + body, transfers=True, pure=True)
+
+    def _emit_jump(self, i: int, inst: Jump) -> _Emitted:
+        target = self._bind(inst.target, "B")
+        # `__b` first, matching Br, so the batched path can split the
+        # (trivial) fetch from the transfer uniformly.
+        return _Emitted([
+            f"__b = {target}",
+            "interp.instructions_executed = n",
+            "frame.block = __b",
+            "frame.index = 0",
+            "return",
+        ], transfers=True, pure=True)
+
+    def _emit_ret(self, i: int, inst: Ret) -> _Emitted:
+        iname = self._bind(inst, "I")
+        return _Emitted(self._flush(i) + [
+            f"interp._do_return(frame, {iname})",
+            "return",
+        ], transfers=True)
+
+    def _emit_halt(self, i: int, inst: Halt) -> _Emitted:
+        iname = self._bind(inst, "I")
+        return _Emitted(self._flush(i) + [
+            f"interp._exec_halt(frame, {iname})",
+            "return",
+        ], transfers=True)
+
+    def _emit_unreachable(self, i: int, inst: Unreachable) -> _Emitted:
+        msg = f"unreachable executed in @{self.fname}"
+        return _Emitted(self._flush(i) + [f"raise HardFault({msg!r})"],
+                        transfers=True)
+
+    # -- assembly ------------------------------------------------------
+
+    def compile(self) -> Callable:
+        from .interpreter import (  # runtime import: no module cycle
+            ExecutionLimitExceeded,
+            _to_signed,
+            _trunc_div,
+        )
+
+        block = self.block
+        insts = block.instructions
+        emitted = [self._emit(i, inst) for i, inst in enumerate(insts)]
+        costs = [_inst_cost(inst) for inst in insts]
+        has_mem = any(isinstance(inst, (Load, Store)) for inst in insts)
+
+        budget_msg = f"instruction budget exceeded in @{self.fname}"
+        fell_msg = f"fell off block {block.name} in @{self.fname}"
+
+        lines = ["def __block(interp, frame, machine, start):"]
+
+        def w(indent: int, text: str) -> None:
+            lines.append("    " * indent + text)
+
+        w(1, "regs = frame.regs")
+        w(1, "pending = machine.pending_irqs")
+        w(1, "n = interp.instructions_executed")
+        w(1, "maxi = interp.max_instructions")
+        if has_mem:
+            w(1, "mem_read = machine.memory.read")
+            w(1, "mem_write = machine.memory.write")
+            w(1, "n_loads = machine._n_loads")
+            w(1, "n_stores = machine._n_stores")
+            w(1, "n_bus = machine._n_bus_faults")
+            w(1, "n_mm = machine._n_memmanage")
+            for line in self._FP_BIND:
+                w(1, line)
+
+        # Tier 2: a block of pure register compute plus its Br/Jump
+        # terminator executes with one batched cycle charge and one
+        # budget check.  Safe because pure ops cannot fault, touch
+        # memory, pend IRQs, or observe the cycle counter — and all
+        # state mutation (cycles, instruction count, the transfer)
+        # happens only after every KeyError-capable fetch succeeded;
+        # register writes inside the try are idempotent, so a missing
+        # register falls through to the per-instruction path, which
+        # replays from index 0 and reports the fault like single-step.
+        batchable = (len(insts) >= 2 and all(e.pure for e in emitted)
+                     and emitted[-1].transfers)
+        if batchable:
+            total = sum(costs)
+            term_stmts = emitted[-1].fetch + emitted[-1].body
+            term_fetch, term_transfer = term_stmts[:1], term_stmts[1:]
+            w(1, f"if start == 0 and not pending "
+                 f"and not machine._systick_armed "
+                 f"and n + {len(insts)} <= maxi:")
+            w(2, "try:")
+            for e in emitted[:-1]:
+                for stmt in e.fetch + e.body:
+                    w(3, stmt)
+            for stmt in term_fetch:
+                w(3, stmt)
+            w(2, "except KeyError:")
+            w(3, "pass")
+            w(2, "else:")
+            w(3, f"machine.cycles += {total}")
+            w(3, f"n += {len(insts)}")
+            for stmt in term_transfer:
+                w(3, stmt)
+
+        for i, (inst, e, cost) in enumerate(zip(insts, emitted, costs)):
+            w(1, f"if start <= {i}:")
+            w(2, "if pending:")
+            w(3, "interp.instructions_executed = n")
+            w(3, f"frame.index = {i}")
+            w(3, "return")
+            w(2, "n += 1")
+            w(2, "if n > maxi:")
+            w(3, "interp.instructions_executed = n")
+            w(3, f"frame.index = {i}")
+            w(3, f"raise ExecutionLimitExceeded({budget_msg!r})")
+            w(2, f"machine.cycles += {cost}")
+            w(2, "if machine._systick_armed "
+                 "and machine.cycles >= machine._systick_next:")
+            w(3, "machine._systick_fire()")
+            if e.guarded:
+                w(2, "try:")
+                for stmt in e.fetch:
+                    w(3, stmt)
+                w(2, "except KeyError:")
+                w(3, "interp.instructions_executed = n")
+                w(3, f"frame.index = {i}")
+                w(3, f"_undef(interp, frame, {self._bind(inst, 'I')})")
+                for stmt in e.body:
+                    w(2, stmt)
+            else:
+                for stmt in e.body:
+                    w(2, stmt)
+
+        # Fell off the block (no terminator transferred): mirror
+        # step()'s boundary order — deliver a pending IRQ first, then
+        # fault.
+        w(1, "interp.instructions_executed = n")
+        w(1, f"frame.index = {len(insts)}")
+        w(1, "if pending:")
+        w(2, "return")
+        w(1, f"raise HardFault({fell_msg!r})")
+
+        source = "\n".join(lines) + "\n"
+        self.ns.update({
+            "BusFault": BusFault,
+            "MemManageFault": MemManageFault,
+            "HardFault": HardFault,
+            "ExecutionLimitExceeded": ExecutionLimitExceeded,
+            "_ts": _to_signed,
+            "_tdiv": _trunc_div,
+            "_undef": _undef,
+        })
+        code = compile(source, f"<block @{self.fname}:{block.name}>", "exec")
+        exec(code, self.ns)
+        fn = self.ns["__block"]
+        fn.__repro_source__ = source
+        fn.__repro_batched__ = batchable
+        return fn
+
+
+def compile_block(block: BasicBlock) -> Optional[Callable]:
+    """Compile ``block`` and cache the closure on it.
+
+    Returns the compiled function, or ``None`` (also cached) when the
+    block cannot be compiled — the interpreter then permanently
+    single-steps that block.  Never raises: a codegen failure must
+    degrade to the reference path, not kill the run.
+    """
+    try:
+        fn = _BlockCompiler(block).compile()
+    except Exception:
+        fn = None
+    block._compiled = fn
+    return fn
+
+
+__all__ = [
+    "BLOCKCOMPILE_OFF_VALUES",
+    "BLOCKCOMPILE_ON_VALUES",
+    "block_compile_enabled",
+    "compile_block",
+]

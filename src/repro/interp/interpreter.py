@@ -74,7 +74,9 @@ from ..obs.events import (
     SVC_ENTER as EV_SVC_ENTER,
     SVC_RETURN as EV_SVC_RETURN,
 )
+from ..obs.metrics import MetricsRegistry
 from ..obs.recorder import attach_crash_context
+from .blockcompile import block_compile_enabled, compile_block
 from .costs import DEFAULT_COST, DIV_COST, INSTRUCTION_COSTS
 from .hooks import RuntimeHooks
 
@@ -126,6 +128,7 @@ class Interpreter:
         image,
         hooks: Optional[RuntimeHooks] = None,
         max_instructions: int = 100_000_000,
+        block_compile: Optional[bool] = None,
     ):
         self.machine = machine
         self.image = image
@@ -136,6 +139,23 @@ class Interpreter:
         self.instructions_executed = 0
         self.halt_code: Optional[int] = None
         self._irq_depth = 0
+        # Superinstruction execution (``None`` → REPRO_BLOCKCOMPILE,
+        # default on).  Compilation activity is counted on the
+        # interpreter's own registry, NOT ``machine.metrics``: the
+        # machine-side snapshot must stay byte-identical with block
+        # compilation on and off.
+        if block_compile is None:
+            block_compile = block_compile_enabled()
+        self.block_compile = bool(block_compile)
+        self.compile_metrics = MetricsRegistry()
+        self._n_blocks_compiled = self.compile_metrics.counter(
+            "blockcompile.blocks_compiled")
+        self._n_compile_errors = self.compile_metrics.counter(
+            "blockcompile.compile_errors")
+        self._n_block_entries = self.compile_metrics.counter(
+            "blockcompile.block_entries")
+        self._n_fallback_steps = self.compile_metrics.counter(
+            "blockcompile.fallback_steps")
         # Optional function-granularity trace (GDB single-step stand-in,
         # §6.4): the evaluation harness records executed functions per task.
         self.on_function_enter: Optional[Callable[[Function], None]] = None
@@ -153,27 +173,134 @@ class Interpreter:
         """Execute until halt; returns the firmware's halt code."""
         machine = self.machine
         try:
-            while self.frames:
-                self.step()
+            if self.block_compile:
+                self._run_compiled()
+            else:
+                while self.frames:
+                    self.step()
         except MachineHalt as halt:
-            self.halt_code = halt.code
-            recorder = machine.recorder
-            if recorder is not None:
-                recorder.instant(EV_HALT, f"halt({halt.code})",
-                                 machine.cycles, args={"code": halt.code})
-            return halt.code
+            return self._finish_halt(halt.code, f"halt({halt.code})")
         except MachineError as error:
             # Terminal fault: dump the flight-recorder tail onto the
             # exception so the failure window survives the crash.
             attach_crash_context(error, machine.recorder, machine.cycles)
             raise
         # ``main`` returned without halting: treat as a clean stop.
-        self.halt_code = 0
+        return self._finish_halt(0, "main-return")
+
+    def start(self, entry: str = "main", args: tuple[int, ...] = ()) -> None:
+        """Reset and stage ``entry`` without executing anything.
+
+        Incremental counterpart of :meth:`run` for callers that drive
+        execution themselves via :meth:`advance` (the batch runner).
+        """
+        self.hooks.on_reset(self)
+        self.call_function(self.image.module.get_function(entry), list(args))
+
+    def advance(self) -> bool:
+        """Execute one scheduling quantum; ``False`` once halted.
+
+        A quantum is one compiled-block entry — or one reference
+        ``step()`` on the fallback paths (pending IRQ boundary, IRQ
+        window, uncompilable block, block compilation disabled) — so
+        the batch runner round-robins lanes at block granularity.
+        Halt handling matches :meth:`resume` exactly; terminal faults
+        propagate with crash context attached.
+        """
+        machine = self.machine
+        if not self.frames:
+            if self.halt_code is None:
+                self._finish_halt(0, "main-return")
+            return False
+        try:
+            if (self.block_compile and not machine.pending_irqs
+                    and self._irq_depth == 0):
+                frame = self.frames[-1]
+                block = frame.block
+                try:
+                    fn = block._compiled
+                except AttributeError:
+                    fn = self._compile(block)
+                if fn is None:
+                    self._n_fallback_steps.value += 1
+                    self.step()
+                else:
+                    self._n_block_entries.value += 1
+                    fn(self, frame, machine, frame.index)
+            else:
+                if self.block_compile:
+                    self._n_fallback_steps.value += 1
+                self.step()
+        except MachineHalt as halt:
+            self._finish_halt(halt.code, f"halt({halt.code})")
+            return False
+        except MachineError as error:
+            attach_crash_context(error, machine.recorder, machine.cycles)
+            raise
+        if not self.frames:
+            self._finish_halt(0, "main-return")
+            return False
+        return True
+
+    def _finish_halt(self, code: int, label: str) -> int:
+        """Record the halt event and code (shared by all run modes)."""
+        self.halt_code = code
+        machine = self.machine
         recorder = machine.recorder
         if recorder is not None:
-            recorder.instant(EV_HALT, "main-return", machine.cycles,
-                             args={"code": 0})
-        return 0
+            recorder.instant(EV_HALT, label, machine.cycles,
+                             args={"code": code})
+        return code
+
+    def _run_compiled(self) -> None:
+        """The superinstruction main loop.
+
+        One compiled-closure call per basic block; every tricky
+        boundary falls back to the unmodified :meth:`step`:
+
+        * a pending IRQ with no handler active — ``step`` pops exactly
+          one IRQ and then executes exactly one instruction, and that
+          pop-one/execute-one interleaving (a masked pop still spends
+          the boundary) must stay bit-exact, so the reference code
+          performs it;
+        * anywhere inside an IRQ window (``_irq_depth > 0``);
+        * blocks the compiler rejected (``_compiled is None``).
+
+        Compiled functions are therefore only entered with no pending
+        IRQs and no active handler, and return whenever that changes.
+        """
+        frames = self.frames
+        machine = self.machine
+        pending = machine.pending_irqs
+        step = self.step
+        entries = self._n_block_entries
+        fallbacks = self._n_fallback_steps
+        while frames:
+            if (pending and self._irq_depth == 0) or self._irq_depth > 0:
+                fallbacks.value += 1
+                step()
+                continue
+            frame = frames[-1]
+            block = frame.block
+            try:
+                fn = block._compiled
+            except AttributeError:
+                fn = self._compile(block)
+            if fn is None:
+                fallbacks.value += 1
+                step()
+                continue
+            entries.value += 1
+            fn(self, frame, machine, frame.index)
+
+    def _compile(self, block: BasicBlock):
+        """First execution of ``block``: build (or fail) its closure."""
+        fn = compile_block(block)
+        if fn is None:
+            self._n_compile_errors.value += 1
+        else:
+            self._n_blocks_compiled.value += 1
+        return fn
 
     def call_function(self, func: Function, args: list[int],
                       switched: bool = False,
@@ -201,7 +328,7 @@ class Interpreter:
     def step(self) -> None:
         machine = self.machine
         if machine.pending_irqs and self._irq_depth == 0:
-            self._dispatch_irq(machine.pending_irqs.pop(0))
+            self._dispatch_irq(machine.pending_irqs.popleft())
         frame = self.frames[-1]
         instructions = frame.block.instructions
         index = frame.index
@@ -247,12 +374,6 @@ class Interpreter:
         self.frames.append(frame)
         if self.on_function_enter is not None:
             self.on_function_enter(handler)
-
-    def _charge(self, inst: Instruction) -> None:
-        cost = INSTRUCTION_COSTS.get(inst.opcode, DEFAULT_COST)
-        if isinstance(inst, BinOp) and inst.op in _DIV_OPS:
-            cost = DIV_COST
-        self.machine.consume(cost)
 
     # -- operand evaluation --------------------------------------------
 

@@ -10,12 +10,30 @@ from .values import Parameter, Value
 
 
 class BasicBlock:
-    """A straight-line sequence of instructions ending in a terminator."""
+    """A straight-line sequence of instructions ending in a terminator.
+
+    ``_compiled`` (set lazily by :mod:`repro.interp.blockcompile`)
+    caches the block's superinstruction closure.  It resolves every
+    image-specific value (globals, function addresses, stack limit)
+    through the executing interpreter at runtime, so one compiled
+    closure is valid for every image/machine the block is linked into
+    and is shared across interpreters — including batch-runner lanes.
+    A value of ``None`` marks the block as uncompilable (single-step
+    only).
+    """
 
     def __init__(self, name: str, parent: Optional["Function"] = None):
         self.name = name
         self.parent = parent
         self.instructions: list[Instruction] = []
+
+    def __getstate__(self) -> dict:
+        # The compiled closure is a host-side cache, not IR: closures
+        # don't pickle (modules ride the artifact cache), and a
+        # rehydrated block simply recompiles on first execution.
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)
+        return state
 
     def append(self, inst: Instruction) -> Instruction:
         if self.terminator is not None:

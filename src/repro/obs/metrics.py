@@ -103,6 +103,28 @@ class MetricsRegistry:
             hist = self.histograms[name] = CycleHistogram(name)
         return hist
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate ``other``'s metrics into this registry.
+
+        Used by the batch runner to aggregate per-lane registries into
+        a fleet-wide view.  Merging is order-independent for counters
+        and for every histogram field, so the aggregate is
+        deterministic regardless of lane completion order.
+        """
+        for name, cell in other.counters.items():
+            self.counter(name).value += cell.value
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            mine.count += hist.count
+            mine.total += hist.total
+            if hist.min is not None and (mine.min is None
+                                         or hist.min < mine.min):
+                mine.min = hist.min
+            if hist.max > mine.max:
+                mine.max = hist.max
+            for i, n in enumerate(hist.buckets):
+                mine.buckets[i] += n
+
     # -- snapshots ----------------------------------------------------
 
     def snapshot(self) -> dict:

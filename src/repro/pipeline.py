@@ -172,6 +172,43 @@ class RunResult:
     hooks: RuntimeHooks
 
 
+def default_hooks(machine: Machine, image: Image) -> Optional[RuntimeHooks]:
+    """The runtime an image gets when the caller passes ``hooks=None``.
+
+    OPEC images get a fresh monitor, ACES images their compartment
+    runtime, vanilla images the no-op default (``None`` here; the
+    interpreter substitutes ``RuntimeHooks()``).  Shared by
+    :func:`run_image` and the batch runner so a batched lane runs
+    under exactly the runtime a solo run would.
+    """
+    if isinstance(image, OpecImage):
+        return OpecMonitor(machine, image)
+    if image.kind == "aces":
+        from .baselines.aces.runtime import AcesRuntime
+
+        return AcesRuntime(machine, image)
+    return None
+
+
+def prepare_machine(
+    image: Image,
+    *,
+    setup: Optional[Callable[[Machine], None]] = None,
+    recorder: Optional[FlightRecorder] = None,
+    backend: Optional[BackendSpec] = None,
+) -> Machine:
+    """Build and initialise a fresh machine for ``image`` (no run)."""
+    machine = Machine(image.board,
+                      backend=backend if backend is not None
+                      else active_backend())
+    machine.recorder = recorder if recorder is not None \
+        else active_recorder()
+    if setup is not None:
+        setup(machine)
+    image.initialize_memory(machine)
+    return machine
+
+
 def run_image(
     image: Image,
     *,
@@ -181,6 +218,7 @@ def run_image(
     max_instructions: int = 100_000_000,
     recorder: Optional[FlightRecorder] = None,
     backend: Optional[BackendSpec] = None,
+    block_compile: Optional[bool] = None,
 ) -> RunResult:
     """Load ``image`` onto a fresh machine and run it to halt.
 
@@ -190,24 +228,16 @@ def run_image(
     ``None`` the ambient recorder (``REPRO_TRACE``) applies.
     ``backend`` selects the enforcement substrate (name or instance);
     when left ``None`` the ambient ``REPRO_BACKEND`` applies.
+    ``block_compile`` overrides superinstruction execution; when left
+    ``None`` the ambient ``REPRO_BLOCKCOMPILE`` (default on) applies.
     """
-    machine = Machine(image.board,
-                      backend=backend if backend is not None
-                      else active_backend())
-    machine.recorder = recorder if recorder is not None \
-        else active_recorder()
-    if setup is not None:
-        setup(machine)
-    image.initialize_memory(machine)
+    machine = prepare_machine(image, setup=setup, recorder=recorder,
+                              backend=backend)
     if hooks is None:
-        if isinstance(image, OpecImage):
-            hooks = OpecMonitor(machine, image)
-        elif image.kind == "aces":
-            from .baselines.aces.runtime import AcesRuntime
-
-            hooks = AcesRuntime(machine, image)
+        hooks = default_hooks(machine, image)
     interp = Interpreter(machine, image, hooks,
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions,
+                         block_compile=block_compile)
     code = interp.run(entry=entry)
     return RunResult(
         halt_code=code, cycles=machine.cycles, machine=machine,

@@ -1,0 +1,154 @@
+"""Unit tests for the batched simulation runner.
+
+The batch contract: lanes are fully isolated (a batched lane's
+simulated outcome is bit-identical to a solo run of the same image),
+compiled block closures warm across lanes through the shared IR, one
+lane's terminal fault never disturbs the fleet, and ``REPRO_BATCH``
+validates loudly.
+"""
+
+import pytest
+
+import repro.ir as ir
+from repro.hw import Machine, stm32f4_discovery
+from repro.image import build_vanilla_image
+from repro.interp import BatchRunner, Interpreter, batch_lanes
+from repro.interp.batch import DEFAULT_LANES
+from repro.obs.metrics import MetricsRegistry
+from repro.ir import I32
+
+
+def _loop_module(iterations: int = 300, name: str = "loop"):
+    module = ir.Module(name)
+    _m, b = ir.define(module, "main", I32, [])
+    acc = b.alloca(I32)
+    b.store(0, acc)
+    with b.for_range(0, iterations) as load_i:
+        b.store(b.add(b.load(acc), load_i()), acc)
+    b.halt(b.load(acc))
+    return module
+
+
+def _crash_module():
+    module = ir.Module("crash")
+    _m, b = ir.define(module, "main", I32, [])
+    b.halt(b.load(b.mmio(0x60000000)))  # unmapped: terminal HardFault
+    return module
+
+
+class TestReproBatch:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_lanes() == DEFAULT_LANES
+        assert batch_lanes(default=3) == 3
+
+    def test_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "5")
+        assert batch_lanes() == 5
+
+    @pytest.mark.parametrize("raw", ["0", "-2", "many", "2.5"])
+    def test_invalid_raises(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH", raw)
+        with pytest.raises(ValueError, match="REPRO_BATCH"):
+            batch_lanes()
+
+
+class TestBatchIdentity:
+    def test_lanes_bit_identical_to_solo(self):
+        module = _loop_module()
+        board = stm32f4_discovery()
+        image = build_vanilla_image(module, board)
+
+        solo_machine = Machine(board)
+        image.initialize_memory(solo_machine)
+        solo = Interpreter(solo_machine, image, block_compile=True)
+        solo_code = solo.run()
+        solo_compiled = solo.compile_metrics.snapshot()["counters"]
+        solo_sram = solo_machine.read_bytes(solo_machine.sram.base,
+                                            solo_machine.sram.size)
+
+        runner = BatchRunner(block_compile=True)
+        for _ in range(3):
+            runner.add(image)
+        result = runner.run()
+        assert not result.failed
+        for lane in result.lanes:
+            assert lane.halt_code == solo_code
+            assert lane.machine.cycles == solo_machine.cycles
+            assert lane.machine.stats.as_dict() == \
+                solo_machine.stats.as_dict()
+            assert lane.interpreter.instructions_executed == \
+                solo.instructions_executed
+            assert lane.machine.read_bytes(
+                lane.machine.sram.base, lane.machine.sram.size) == solo_sram
+
+        # The solo run already compiled every closure onto the shared
+        # IR; no lane compiles anything, they all just enter blocks.
+        aggregate = result.compile_metrics.snapshot()["counters"]
+        assert aggregate["blockcompile.blocks_compiled"] == 0
+        assert aggregate["blockcompile.block_entries"] == \
+            3 * solo_compiled["blockcompile.block_entries"]
+
+    def test_first_lane_warms_the_fleet(self):
+        module = _loop_module(name="fresh")
+        image = build_vanilla_image(module, stm32f4_discovery())
+        runner = BatchRunner(block_compile=True)
+        for _ in range(4):
+            runner.add(image)
+        result = runner.run()
+        aggregate = result.compile_metrics.snapshot()["counters"]
+        # Compiled exactly once across the whole fleet.
+        assert aggregate["blockcompile.blocks_compiled"] == \
+            len(module.get_function("main").blocks)
+
+    def test_default_lane_names(self):
+        image = build_vanilla_image(_loop_module(5), stm32f4_discovery())
+        runner = BatchRunner()
+        runner.add(image)
+        named = runner.add(image, name="probe")
+        assert [lane.name for lane in runner.lanes] == ["lane0", "probe"]
+
+
+class TestFaultIsolation:
+    def test_one_lane_dies_rest_complete(self):
+        board = stm32f4_discovery()
+        good = build_vanilla_image(_loop_module(50), board)
+        bad = build_vanilla_image(_crash_module(), board)
+        runner = BatchRunner(block_compile=True)
+        runner.add(good, name="good0")
+        runner.add(bad, name="doomed")
+        runner.add(good, name="good1")
+        result = runner.run()
+        assert [lane.name for lane in result.failed] == ["doomed"]
+        assert "unmapped" in str(result.failed[0].error)
+        for lane in result.lanes:
+            if lane.name != "doomed":
+                assert lane.error is None
+                assert lane.halt_code == sum(range(50))
+
+
+class TestMetricsMerge:
+    def test_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").value = 3
+        b.counter("hits").value = 4
+        b.counter("misses").value = 1
+        for value in (2, 9):
+            a.histogram("lat").observe(value)
+        b.histogram("lat").observe(40)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"] == {"hits": 7, "misses": 1}
+        lat = snap["histograms"]["lat"]
+        assert lat["count"] == 3
+        assert lat["total"] == 51
+        assert lat["min"] == 2
+        assert lat["max"] == 40
+
+    def test_merge_into_empty_is_copy(self):
+        src = MetricsRegistry()
+        src.counter("c").value = 5
+        src.histogram("h").observe(7)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        assert dst.snapshot() == src.snapshot()
