@@ -1,0 +1,277 @@
+"""Seeded random firmware generator for differential campaigns.
+
+Every generated firmware is a plausible bare-metal application in the
+shape the paper's workloads share — a ``main`` super-loop calling task
+entry functions, per-task private state, shared globals with varied
+accessor sets, GPIO output via MMIO, and an indirect-call dispatch
+table — plus two deliberately planted features the attack injector
+(:mod:`.attacks`) exercises:
+
+* the **victim task** polls a mailbox peripheral (the board's I2C1
+  window) and, when commanded, performs the PinLock-style arbitrary
+  write (``inttoptr`` of an attacker-supplied address, §6.1); and
+* a **gadget function**, statically reachable only from its owner
+  task behind an impossible guard, that stamps a magic value into an
+  owner-private flag — the payload a corrupted dispatch-table slot
+  diverts control into.
+
+Determinism: all choices come from one ``random.Random`` seeded with a
+string derived from ``(seed, index)`` (string seeding hashes via
+SHA-512, so the stream is independent of ``PYTHONHASHSEED``), and the
+module is built in one fixed pass.  The same ``(seed, index)`` always
+yields a structurally identical module, so its content digest — and
+every build and simulation derived from it — is stable too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..hw.board import Board, stm32f4_discovery
+from ..hw.machine import Machine
+from ..hw.peripherals import GPIO
+from ..ir.builder import define
+from ..ir.module import Module
+from ..ir.types import FunctionType, I8, I32, VOID, array, ptr
+from ..partition.operations import OperationSpec
+
+#: Mailbox window the victim task polls for injected writes.  I2C1 is
+#: otherwise unused by generated firmware, so attaching the attack
+#: port never collides with a task peripheral.
+MAILBOX_PERIPHERAL = "I2C1"
+MAILBOX_CMD = 0x0
+MAILBOX_ADDR = 0x4
+MAILBOX_VALUE = 0x8
+
+#: GPIO ports tasks blink; GPIOD is reserved as the *forbidden*
+#: peripheral no task touches (the peripheral-abuse attack target).
+TASK_GPIO_PORTS = ("GPIOA", "GPIOB", "GPIOC")
+FORBIDDEN_GPIO = "GPIOD"
+
+#: Value the gadget stamps into its owner-private flag when a
+#: corrupted dispatch slot hands it control.
+GADGET_MAGIC = 0x0BADF00D
+#: Private-state value guarding the gadget's only static call site;
+#: task state is masked to 15 bits, so the guard never fires.
+GADGET_TRIGGER = 0x7FFFFFF1
+
+#: Simulated-instruction budget every generated firmware must halt
+#: within on every flavour/backend (the property suite pins this).
+INSTRUCTION_BUDGET = 200_000
+
+_VOID_FN = FunctionType(VOID, ())
+
+
+@dataclass
+class GeneratedFirmware:
+    """One corpus member plus the metadata the injector needs."""
+
+    seed: int
+    index: int
+    module: Module
+    board: Board
+    specs: list[OperationSpec]
+    tasks: list[str]
+    victim: str                      # task with the mailbox write gadget
+    gadget_owner: str                # task whose file owns gadget/flag
+    victim_slot: int                 # dispatch slot the victim icalls
+    shared_names: list[str]
+    gpio_ports: dict[str, str] = field(default_factory=dict)
+    max_instructions: int = INSTRUCTION_BUDGET
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    def attach_devices(self, machine: Machine) -> None:
+        """GPIO models for every port a task drives, plus the
+        forbidden port (mapped so only an enforcement policy — never a
+        missing device — decides whether writes to it land)."""
+        for port in (*TASK_GPIO_PORTS, FORBIDDEN_GPIO):
+            machine.attach_device(port, GPIO())
+
+    def base_setup(self) -> Callable[[Machine], None]:
+        """Machine setup for an attack-free baseline run."""
+        from .attacks import AttackPort
+
+        def setup(machine: Machine) -> None:
+            self.attach_devices(machine)
+            machine.attach_device(MAILBOX_PERIPHERAL, AttackPort())
+
+        return setup
+
+
+def _mailbox_base(board: Board) -> int:
+    return board.peripheral(MAILBOX_PERIPHERAL).base
+
+
+def generate_firmware(seed: int, index: int = 0) -> GeneratedFirmware:
+    """Build corpus member ``index`` of campaign ``seed``."""
+    rng = random.Random(f"repro-campaign:{seed}:{index}")
+    board = stm32f4_discovery()
+    module = Module(f"campaign_s{seed}_f{index}")
+
+    ntasks = rng.randint(3, 5)
+    rounds = rng.randint(2, 4)
+    nshared = rng.randint(4, 6)
+    victim = rng.randrange(ntasks)
+    gadget_owner = (victim + 1 + rng.randrange(ntasks - 1)) % ntasks
+
+    # -- globals -------------------------------------------------------
+    shared = [
+        module.add_global(f"shared{j}", I32, rng.randint(1, 50),
+                          source_file="shared.c")
+        for j in range(nshared)
+    ]
+    # Random accessor subsets; every task joins at least three so each
+    # ACES compartment needs more natural variable groups than
+    # MAX_DATA_REGIONS and region merging (= PT over-privilege) kicks
+    # in, mirroring the paper's Figure 3 pressure.
+    accessors = [set(rng.sample(range(ntasks), k=rng.randint(2, ntasks)))
+                 for _ in range(nshared)]
+    for i in range(ntasks):
+        open_slots = [j for j in range(nshared) if i not in accessors[j]]
+        rng.shuffle(open_slots)
+        while sum(1 for a in accessors if i in a) < 3 and open_slots:
+            accessors[open_slots.pop()].add(i)
+
+    privates = [
+        module.add_global(f"task{i}_state", I32, rng.randint(1, 9),
+                          source_file=f"task{i}.c")
+        for i in range(ntasks)
+    ]
+    secrets = [
+        module.add_global(f"task{i}_secret", I32, 0x5EC0 + i,
+                          source_file=f"task{i}.c")
+        for i in range(ntasks)
+    ]
+    gadget_flag = module.add_global("gadget_flag", I32, 0,
+                                    source_file=f"task{gadget_owner}.c")
+    dispatch = module.add_global("dispatch_table", array(ptr(I8), ntasks),
+                                 source_file="main.c")
+
+    gpio_ports = {
+        f"task{i}": TASK_GPIO_PORTS[i % len(TASK_GPIO_PORTS)]
+        for i in range(ntasks)
+    }
+
+    # -- helpers (indirect-call targets) -------------------------------
+    helpers = []
+    for i in range(ntasks):
+        func, b = define(module, f"helper{i}", VOID, (),
+                         source_file=f"task{i}.c")
+        mine = [j for j in range(nshared) if i in accessors[j]]
+        target = shared[rng.choice(mine)]
+        value = b.load(target)
+        b.store(b.and_(b.add(value, i + 1), 0xFFFF), target)
+        b.ret_void()
+        helpers.append(func)
+
+    # -- gadget (hijack payload) ---------------------------------------
+    gadget, b = define(module, "gadget", VOID, (),
+                       source_file=f"task{gadget_owner}.c")
+    b.store(GADGET_MAGIC, gadget_flag)
+    b.ret_void()
+
+    # -- tasks ---------------------------------------------------------
+    mailbox = _mailbox_base(board)
+    task_funcs = []
+    victim_slot = 0
+    for i in range(ntasks):
+        func, b = define(module, f"task{i}", VOID, (),
+                         source_file=f"task{i}.c")
+        if i == victim:
+            # The planted vulnerability: an attacker-directed write,
+            # fed through the mailbox device (cf. the PinLock UART
+            # exploit of §6.1).  CMD self-clears on read, so the write
+            # fires exactly once per injected attack.
+            cmd = b.load(b.mmio(mailbox + MAILBOX_CMD))
+            with b.if_then(b.icmp("ne", cmd, 0)):
+                addr = b.load(b.mmio(mailbox + MAILBOX_ADDR))
+                value = b.load(b.mmio(mailbox + MAILBOX_VALUE))
+                b.store(value, b.inttoptr(addr, I32))
+        iterations = rng.randint(2, 4)
+        step = rng.randint(1, 7)
+        mine = [j for j in range(nshared) if i in accessors[j]]
+        gpio = board.peripheral(gpio_ports[f"task{i}"])
+        with b.for_range(0, iterations):
+            state = b.load(privates[i])
+            b.store(b.and_(b.add(state, step), 0x7FFF), privates[i])
+            for j in mine:
+                value = b.load(shared[j])
+                b.store(b.and_(b.add(value, rng.randint(1, 5)), 0xFFFF),
+                        shared[j])
+            secret = b.load(secrets[i])
+            mixed = b.xor(b.load(privates[i]), secret)
+            b.store(b.and_(mixed, 0x7FFF), privates[i])
+            b.store(b.load(privates[i]), b.mmio(gpio.base + GPIO.ODR))
+        if i == gadget_owner:
+            # Keeps the gadget statically reachable (so it joins this
+            # task's operation/compartment) while never firing: state
+            # is masked to 15 bits, the trigger needs 31.
+            armed = b.icmp("eq", b.load(privates[i]), GADGET_TRIGGER)
+            with b.if_then(armed):
+                b.call(gadget)
+        slot = rng.randrange(ntasks)
+        if i == victim:
+            victim_slot = slot
+        handler = b.load(b.gep(dispatch, 0, slot))
+        b.icall(b.ptrtoint(handler), _VOID_FN)
+        b.ret_void()
+        task_funcs.append(func)
+
+    # -- main ----------------------------------------------------------
+    _main, b = define(module, "main", I32, [], source_file="main.c")
+    # A canary buffer occupies the top of main's frame so the
+    # stack-smash attack has a target that is never live control state:
+    # corrupting it must not change vanilla's halt code.
+    canary = b.alloca(array(I8, 64), name="canary")
+    b.store(0xAA, b.gep(canary, 0, 0))
+    for i, helper in enumerate(helpers):
+        b.store(b.inttoptr(b.ptrtoint(helper), I8),
+                b.gep(dispatch, 0, i))
+    with b.for_range(0, rounds):
+        for func in task_funcs:
+            b.call(func)
+    checksum = b.alloca(I32, name="checksum")
+    b.store(0, checksum)
+    for gvar in shared:
+        b.store(b.add(b.load(checksum), b.load(gvar)), checksum)
+    b.halt(b.and_(b.load(checksum), 0xFFFF))
+
+    return GeneratedFirmware(
+        seed=seed,
+        index=index,
+        module=module,
+        board=board,
+        specs=[OperationSpec(f"task{i}") for i in range(ntasks)],
+        tasks=[f"task{i}" for i in range(ntasks)],
+        victim=f"task{victim}",
+        gadget_owner=f"task{gadget_owner}",
+        victim_slot=victim_slot,
+        shared_names=[g.name for g in shared],
+        gpio_ports=gpio_ports,
+    )
+
+
+def generate_corpus(seed: int, count: int) -> list[GeneratedFirmware]:
+    """The first ``count`` corpus members of campaign ``seed``."""
+    return [generate_firmware(seed, index) for index in range(count)]
+
+
+__all__ = [
+    "FORBIDDEN_GPIO",
+    "GADGET_MAGIC",
+    "GADGET_TRIGGER",
+    "INSTRUCTION_BUDGET",
+    "MAILBOX_ADDR",
+    "MAILBOX_CMD",
+    "MAILBOX_PERIPHERAL",
+    "MAILBOX_VALUE",
+    "TASK_GPIO_PORTS",
+    "GeneratedFirmware",
+    "generate_corpus",
+    "generate_firmware",
+]

@@ -1,0 +1,199 @@
+"""Corpus-level campaign report (text + TSV rows).
+
+Everything rendered here derives from simulated outcomes and static
+analysis only — no host wall-clock anywhere — so the report joins the
+byte-identity sweep of ``tools/check_determinism.py`` unmasked.
+"""
+
+from __future__ import annotations
+
+from .engine import CampaignResult, FirmwareReport, LaneOutcome
+
+_OUTCOMES = ("blocked", "succeeded", "survived", "error")
+
+
+def _cells(result: CampaignResult):
+    for report in result.reports:
+        for (kind, flavour, backend), outcome in sorted(
+                report.cells.items()):
+            yield report, kind, flavour, backend, outcome
+
+
+def _containment(result: CampaignResult) -> dict[tuple[str, str],
+                                                 dict[str, int]]:
+    table: dict[tuple[str, str], dict[str, int]] = {}
+    for flavour in result.config.flavours:
+        for backend in result.config.backends:
+            table[(flavour, backend)] = {name: 0 for name in _OUTCOMES}
+    for _report, _kind, flavour, backend, outcome in _cells(result):
+        table[(flavour, backend)][outcome.outcome] += 1
+    return table
+
+
+def _by_attack(result: CampaignResult) -> dict[tuple[str, str],
+                                               tuple[int, int]]:
+    """(attack, flavour) → (blocked, total) over firmwares+backends."""
+    table: dict[tuple[str, str], list[int]] = {
+        (kind, flavour): [0, 0]
+        for kind in result.config.attacks
+        for flavour in result.config.flavours
+    }
+    for _report, kind, flavour, _backend, outcome in _cells(result):
+        cell = table[(kind, flavour)]
+        cell[1] += 1
+        if outcome.outcome == "blocked":
+            cell[0] += 1
+    return {key: (blocked, total)
+            for key, (blocked, total) in table.items()}
+
+
+def _pt_pool(result: CampaignResult) -> dict[str, list[float]]:
+    pool: dict[str, list[float]] = {}
+    for report in result.reports:
+        for flavour, values in report.pt.items():
+            pool.setdefault(flavour, []).extend(values)
+    return pool
+
+
+def _switch_stats(result: CampaignResult) -> dict[tuple[str, str],
+                                                  tuple[int, int]]:
+    """(flavour, backend) → (switches, switch_cycles) over baselines."""
+    stats: dict[tuple[str, str], list[int]] = {}
+    for report in result.reports:
+        for (flavour, backend), outcome in report.baseline.items():
+            cell = stats.setdefault((flavour, backend), [0, 0])
+            cell[0] += outcome.switches
+            cell[1] += outcome.switch_cycles
+    return {key: (switches, cycles)
+            for key, (switches, cycles) in stats.items()}
+
+
+def _blocked_total(result: CampaignResult,
+                   flavour: str) -> tuple[int, int]:
+    blocked = total = 0
+    for _report, _kind, cell_flavour, _backend, outcome in _cells(result):
+        if cell_flavour != flavour:
+            continue
+        total += 1
+        if outcome.outcome == "blocked":
+            blocked += 1
+    return blocked, total
+
+
+def render_report(result: CampaignResult) -> str:
+    config = result.config
+    lanes = (len(result.reports) * len(config.flavours)
+             * len(config.backends) * (len(config.attacks) + 1))
+    lines = [
+        f"== Differential security campaign — seed {config.seed} ==",
+        f"corpus: {len(result.reports)} firmwares x "
+        f"{len(config.attacks)} attacks "
+        f"({', '.join(config.attacks)}) x "
+        f"{len(config.flavours)} flavours x "
+        f"{len(config.backends)} backends = {lanes} lanes",
+        "",
+        "-- containment (injected-attack lanes) --",
+        f"{'flavour':9s} {'backend':8s} {'blocked':>7s} {'succeeded':>9s} "
+        f"{'survived':>8s} {'error':>5s} {'containment':>11s}",
+    ]
+    containment = _containment(result)
+    for flavour in config.flavours:
+        for backend in config.backends:
+            counts = containment[(flavour, backend)]
+            total = sum(counts.values())
+            rate = counts["blocked"] / total * 100.0 if total else 0.0
+            lines.append(
+                f"{flavour:9s} {backend:8s} {counts['blocked']:7d} "
+                f"{counts['succeeded']:9d} {counts['survived']:8d} "
+                f"{counts['error']:5d} {rate:10.1f}%")
+
+    lines += ["", "-- containment by attack kind "
+                  "(all firmwares, all backends) --",
+              f"{'attack':11s} " + " ".join(
+                  f"{flavour:>14s}" for flavour in config.flavours)]
+    by_attack = _by_attack(result)
+    for kind in config.attacks:
+        cells = []
+        for flavour in config.flavours:
+            blocked, total = by_attack[(kind, flavour)]
+            cells.append(f"{f'{blocked}/{total} blocked':>14s}")
+        lines.append(f"{kind:11s} " + " ".join(cells))
+
+    lines += ["", "-- partition-time over-privilege "
+                  "(Eq. 1, per protection domain) --",
+              f"{'flavour':9s} {'domains':>7s} {'mean':>8s} {'max':>8s}"]
+    pool = _pt_pool(result)
+    for flavour in config.flavours:
+        values = pool.get(flavour, [])
+        mean = sum(values) / len(values) if values else 0.0
+        peak = max(values) if values else 0.0
+        lines.append(f"{flavour:9s} {len(values):7d} "
+                     f"{mean:8.4f} {peak:8.4f}")
+
+    lines += ["", "-- operation-switch cost "
+                  "(attack-free baseline lanes) --",
+              f"{'flavour':9s} {'backend':8s} {'switches':>8s} "
+              f"{'switch_cycles':>13s} {'avg':>8s}"]
+    switch_stats = _switch_stats(result)
+    for flavour in config.flavours:
+        for backend in config.backends:
+            switches, cycles = switch_stats.get((flavour, backend), (0, 0))
+            avg = cycles / switches if switches else 0.0
+            lines.append(f"{flavour:9s} {backend:8s} {switches:8d} "
+                         f"{cycles:13d} {avg:8.2f}")
+
+    lines += ["", "-- verdicts --"]
+    opec_blocked, opec_total = _blocked_total(result, "opec")
+    vanilla_blocked, vanilla_total = _blocked_total(result, "vanilla")
+    if "opec" in config.flavours and "vanilla" in config.flavours:
+        ok = opec_blocked > vanilla_blocked
+        lines.append(
+            f"containment: OPEC blocked {opec_blocked}/{opec_total}, "
+            f"vanilla blocked {vanilla_blocked}/{vanilla_total} -> "
+            f"{'PASS' if ok else 'FAIL'} (OPEC strictly more)")
+    if "opec" in config.flavours and "aces" in config.flavours:
+        opec_pt = pool.get("opec", [])
+        aces_pt = pool.get("aces", [])
+        opec_mean = sum(opec_pt) / len(opec_pt) if opec_pt else 0.0
+        aces_mean = sum(aces_pt) / len(aces_pt) if aces_pt else 0.0
+        ok = opec_mean < aces_mean
+        lines.append(
+            f"over-privilege: OPEC mean PT {opec_mean:.4f}, "
+            f"ACES mean PT {aces_mean:.4f} -> "
+            f"{'PASS' if ok else 'FAIL'} (OPEC strictly lower)")
+    return "\n".join(lines)
+
+
+def report_rows(result: CampaignResult) -> list[list[object]]:
+    """Flat TSV rows: every lane outcome plus the PT distributions."""
+    rows: list[list[object]] = [[
+        "record", "firmware", "attack", "flavour", "backend", "outcome",
+        "detail", "halt_code", "cycles", "switches", "switch_cycles",
+    ]]
+
+    def lane_row(record: str, report: FirmwareReport, kind: str,
+                 flavour: str, backend: str,
+                 outcome: LaneOutcome) -> list[object]:
+        return [record, report.name, kind, flavour, backend,
+                outcome.outcome, outcome.detail or "-",
+                outcome.halt_code, outcome.cycles, outcome.switches,
+                outcome.switch_cycles]
+
+    for report in result.reports:
+        for flavour in result.config.flavours:
+            for backend in result.config.backends:
+                rows.append(lane_row(
+                    "baseline", report, "-", flavour, backend,
+                    report.baseline[(flavour, backend)]))
+                for kind in result.config.attacks:
+                    rows.append(lane_row(
+                        "cell", report, kind, flavour, backend,
+                        report.cells[(kind, flavour, backend)]))
+        for flavour in result.config.flavours:
+            for domain, value in enumerate(report.pt.get(flavour, [])):
+                rows.append(["pt", report.name, str(domain), flavour,
+                             "-", f"{value:.4f}", "-", -1, 0, 0, 0])
+    return rows
+
+
+__all__ = ["render_report", "report_rows"]

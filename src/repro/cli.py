@@ -20,13 +20,20 @@ Usage (``python -m repro.cli <command>``):
 * ``bench batch APP [--lanes N]`` — multiplex N copies of a build
   through one process via the batch runner (lane count defaults to
   ``REPRO_BATCH``) and report per-lane results plus throughput;
+* ``campaign [--seed N] [--firmwares N] [--attacks ...]`` — run a
+  differential security campaign over a seeded random-firmware corpus
+  and print the containment / over-privilege / switch-cost report;
 * ``attack`` — the PinLock §6.1 case-study demo.
+
+``--backend`` is threaded through the call stack as an explicit
+parameter; the CLI never mutates ``os.environ`` (a regression test
+pins this), so library callers of these command functions cannot leak
+a backend choice into unrelated work in the same process.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from typing import Optional, Sequence
 
@@ -34,15 +41,6 @@ from typing import Optional, Sequence
 #: building the parser does not import the package (a test pins the
 #: parity).
 BACKEND_CHOICES = ["mpu", "pmp", "overlay"]
-
-
-def _pin_backend(args) -> None:
-    """Export ``--backend`` to the environment so every downstream
-    consumer — in-process runs, eval worker processes, cache digests —
-    sees the same substrate."""
-    backend = getattr(args, "backend", None)
-    if backend:
-        os.environ["REPRO_BACKEND"] = backend
 
 
 def _cmd_list(_args) -> int:
@@ -81,14 +79,15 @@ def _cmd_build(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .eval.workloads import build_app, run_build
+    from .eval.workloads import run_build
 
-    _pin_backend(args)
-    result = run_build(args.app, args.build, profile=args.profile)
+    result = run_build(args.app, args.build, profile=args.profile,
+                       backend=args.backend)
     print(f"{args.app} [{args.build}] halt={result.halt_code} "
           f"cycles={result.cycles}")
     if args.build != "vanilla":
-        baseline = run_build(args.app, "vanilla", profile=args.profile)
+        baseline = run_build(args.app, "vanilla", profile=args.profile,
+                             backend=args.backend)
         overhead = result.cycles / baseline.cycles - 1
         print(f"runtime overhead vs vanilla: {overhead:.3%}")
     stats = result.machine.stats
@@ -103,20 +102,23 @@ def _cmd_eval(args) -> int:
                        table2, table3)
     from .eval.report_all import main as report_all
 
-    _pin_backend(args)
     targets = {
         "table1": table1, "table2": table2, "table3": table3,
         "figure9": figure9, "figure10": figure10, "figure11": figure11,
         "backends": backends,
     }
     if args.target == "all":
-        report_all()
+        report_all(backend=args.backend)
         return 0
     module = targets[args.target]
+    # Only the run-based targets take a backend: the rest are static
+    # analyses ("backends" sweeps every substrate itself).
+    kwargs = ({"backend": args.backend}
+              if args.target in ("figure9", "table2") else {})
     if hasattr(module, "compute_table"):
-        print(module.render(module.compute_table()))
+        print(module.render(module.compute_table(**kwargs)))
     else:
-        print(module.render(module.compute_figure()))
+        print(module.render(module.compute_figure(**kwargs)))
     return 0
 
 
@@ -124,9 +126,9 @@ def _cmd_trace(args) -> int:
     from .eval.tracing import record_app_trace
     from .obs import chrome_trace, event_tsv, trace_summary
 
-    _pin_backend(args)
     recorder, result = record_app_trace(
-        args.app, args.build, profile=args.profile, capacity=args.buf)
+        args.app, args.build, profile=args.profile, capacity=args.buf,
+        backend=args.backend)
     domain = None if args.all_domains else "sim"
     if args.format == "json":
         text = chrome_trace(recorder, domain)
@@ -148,8 +150,8 @@ def _cmd_trace(args) -> int:
 def _cmd_metrics(args) -> int:
     from .eval.workloads import run_build
 
-    _pin_backend(args)
-    result = run_build(args.app, args.build, profile=args.profile)
+    result = run_build(args.app, args.build, profile=args.profile,
+                       backend=args.backend)
     print(result.machine.metrics.render(
         f"{args.app} [{args.build}] — halt={result.halt_code} "
         f"cycles={result.cycles}"))
@@ -228,7 +230,6 @@ def _cmd_bench(args) -> int:
     from .interp.batch import BatchRunner, batch_lanes
     from .pipeline import build_vanilla
 
-    _pin_backend(args)
     lanes = args.lanes if args.lanes is not None else batch_lanes()
     app = build_app(args.app, profile=args.profile)
     if args.build == "opec":
@@ -238,7 +239,8 @@ def _cmd_bench(args) -> int:
     runner = BatchRunner()
     for _ in range(lanes):
         runner.add(image, setup=app.setup,
-                   max_instructions=app.max_instructions)
+                   max_instructions=app.max_instructions,
+                   backend=args.backend)
     start = time.perf_counter()
     result = runner.run()
     wall = time.perf_counter() - start
@@ -256,6 +258,35 @@ def _cmd_bench(args) -> int:
           f"{insts} instructions in {wall:.3f}s ({rate:,.0f} insts/s)")
     print(result.compile_metrics.render("aggregate compile metrics"))
     return 1 if result.failed else 0
+
+
+def _cmd_campaign(args) -> int:
+    from .campaign import (CampaignConfig, render_report, report_rows,
+                           run_campaign)
+
+    config = CampaignConfig(
+        seed=args.seed,
+        firmwares=args.firmwares,
+        attacks=tuple(args.attacks),
+        backends=tuple(args.backends),
+        jobs=args.jobs,
+    )
+    result = run_campaign(config)
+    text = render_report(result)
+    if args.output:
+        rows = report_rows(result)
+        tsv = "\n".join("\t".join(str(cell) for cell in row)
+                        for row in rows) + "\n"
+        base = args.output
+        with open(f"{base}.txt", "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        with open(f"{base}.tsv", "w", encoding="utf-8") as handle:
+            handle.write(tsv)
+        print(text)
+        print(f"report written to {base}.txt / {base}.tsv")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_attack(_args) -> int:
@@ -382,6 +413,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enforcement backend (default: REPRO_BACKEND "
                             "or mpu)")
     bench.set_defaults(func=_cmd_bench)
+
+    campaign = sub.add_parser(
+        "campaign", help="differential security campaign over a seeded "
+                         "random-firmware corpus")
+    campaign.add_argument("--seed", type=int, default=2026,
+                          help="corpus seed (same seed -> byte-identical "
+                               "report)")
+    campaign.add_argument("--firmwares", type=int, default=8,
+                          help="corpus size")
+    campaign.add_argument("--attacks", nargs="+",
+                          default=["global", "stack", "peripheral",
+                                   "icall"],
+                          choices=["global", "stack", "peripheral",
+                                   "icall"],
+                          help="attack kinds to inject")
+    campaign.add_argument("--backends", nargs="+",
+                          default=BACKEND_CHOICES,
+                          choices=BACKEND_CHOICES,
+                          help="enforcement backends to sweep")
+    campaign.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS)")
+    campaign.add_argument("--output",
+                          help="also write the report to OUTPUT.txt and "
+                               "the flat rows to OUTPUT.tsv")
+    campaign.set_defaults(func=_cmd_campaign)
 
     sub.add_parser("attack", help="PinLock case-study demo").set_defaults(
         func=_cmd_attack)

@@ -12,7 +12,11 @@ and figure and writes:
   run's flight-recorder stream (Chrome trace-event JSON for Perfetto,
   plus one row per event) — sim domain only, so the bytes are
   cache-temperature-independent;
-* ``metrics_pinlock.txt`` — the same run's metrics registry.
+* ``metrics_pinlock.txt`` — the same run's metrics registry;
+* ``campaign_smoke.txt`` / ``campaign_smoke.tsv`` — the differential
+  security campaign over the committed smoke corpus
+  (:data:`repro.campaign.SMOKE_CONFIG`): containment, over-privilege,
+  and switch-cost report plus the flat per-lane rows.
 
 Rows come from :func:`repro.eval.workloads.compute_all_rows`, so
 ``REPRO_JOBS`` > 1 regenerates the applications concurrently while the
@@ -128,6 +132,16 @@ def export_all(output_dir: str) -> list[str]:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
         written.append(path)
+
+    # Differential security campaign over the smoke corpus.  Fans out
+    # over the same REPRO_JOBS pool; the report is byte-identical at
+    # any job count, so it joins the determinism sweep unmasked.
+    from ..campaign import (SMOKE_CONFIG, render_report, report_rows,
+                            run_campaign)
+
+    campaign = run_campaign(SMOKE_CONFIG)
+    save("campaign_smoke", render_report(campaign),
+         report_rows(campaign))
     return written
 
 

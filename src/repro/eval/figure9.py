@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..image.layout import build_vanilla_image
 from .report import render_table
@@ -25,13 +26,13 @@ class Figure9Row:
     sram_pct: float
 
 
-def compute_row(name: str) -> Figure9Row:
+def compute_row(name: str, backend: Optional[str] = None) -> Figure9Row:
     app = build_app(name)
     vanilla_image = build_vanilla_image(app.module, app.board)
     opec_image = opec_artifacts(name).image
 
-    vanilla_run = run_build(name, "vanilla")
-    opec_run = run_build(name, "opec")
+    vanilla_run = run_build(name, "vanilla", backend=backend)
+    opec_run = run_build(name, "opec", backend=backend)
     runtime_pct = 100.0 * (opec_run.cycles / vanilla_run.cycles - 1.0)
 
     flash_delta = opec_image.flash_used() - vanilla_image.flash_used()
@@ -44,8 +45,10 @@ def compute_row(name: str) -> Figure9Row:
                       flash_pct=flash_pct, sram_pct=sram_pct)
 
 
-def compute_figure(apps: tuple[str, ...] = APP_NAMES) -> list[Figure9Row]:
-    return finalize_rows([compute_row(name) for name in apps])
+def compute_figure(apps: tuple[str, ...] = APP_NAMES,
+                   backend: Optional[str] = None) -> list[Figure9Row]:
+    return finalize_rows([compute_row(name, backend=backend)
+                          for name in apps])
 
 
 def finalize_rows(rows: list[Figure9Row]) -> list[Figure9Row]:

@@ -7,12 +7,14 @@ process pool; the printed output is byte-identical either way.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from . import figure9, figure10, figure11, table1, table2, table3
 from .workloads import compute_all_rows
 
 
-def main() -> None:
-    rows = compute_all_rows()
+def main(backend: Optional[str] = None) -> None:
+    rows = compute_all_rows(backend=backend)
     sections = [
         ("Table 1", table1, rows["table1"]),
         ("Figure 9", figure9, rows["figure9"]),

@@ -10,6 +10,7 @@ and running the corresponding image on the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..apps import ACES_APPS
 from ..baselines.aces.compartments import ALL_STRATEGIES
@@ -40,14 +41,15 @@ def _overheads(name: str, image, vanilla_image, run, vanilla_run,
     return ro, fo, so, pac
 
 
-def compute_rows(name: str) -> list[Table2Row]:
+def compute_rows(name: str,
+                 backend: Optional[str] = None) -> list[Table2Row]:
     app = build_app(name)
     vanilla_image = build_vanilla_image(app.module, app.board)
-    vanilla_run = run_build(name, "vanilla")
+    vanilla_run = run_build(name, "vanilla", backend=backend)
     rows = []
 
     opec = opec_artifacts(name)
-    opec_run = run_build(name, "opec")
+    opec_run = run_build(name, "opec", backend=backend)
     ro, fo, so, pac = _overheads(
         name, opec.image, vanilla_image, opec_run, vanilla_run,
         privileged_app_bytes=0,  # OPEC never lifts application code
@@ -56,7 +58,7 @@ def compute_rows(name: str) -> list[Table2Row]:
 
     for strategy in ALL_STRATEGIES:
         artifacts = aces_artifacts(name, strategy)
-        run = run_build(name, strategy)
+        run = run_build(name, strategy, backend=backend)
         ro, fo, so, pac = _overheads(
             name, artifacts.image, vanilla_image, run, vanilla_run,
             privileged_app_bytes=artifacts.image.privileged_code_bytes(),
@@ -65,10 +67,11 @@ def compute_rows(name: str) -> list[Table2Row]:
     return rows
 
 
-def compute_table(apps: tuple[str, ...] = ACES_APPS) -> list[Table2Row]:
+def compute_table(apps: tuple[str, ...] = ACES_APPS,
+                  backend: Optional[str] = None) -> list[Table2Row]:
     rows = []
     for name in apps:
-        rows.extend(compute_rows(name))
+        rows.extend(compute_rows(name, backend=backend))
     return rows
 
 

@@ -182,40 +182,43 @@ def run_build(name: str, kind: str, profile: Optional[str] = None,
 # -- whole-evaluation fan-out ------------------------------------------
 
 
-def _compute_app_rows(name: str) -> dict:
+def _compute_app_rows(name: str, backend: Optional[str] = None) -> dict:
     """Every §6 row that concerns one application, under the ambient
-    profile.  Row objects are plain dataclasses of primitives, so they
-    cross a process boundary."""
+    profile.  ``backend`` reaches the run-based rows (Figure 9,
+    Table 2) as an explicit parameter; the remaining rows are static
+    analyses with no enforcement substrate.  Row objects are plain
+    dataclasses of primitives, so they cross a process boundary."""
     from . import figure9, figure10, figure11, table1, table2, table3
 
     rows: dict = {
         "table1": table1.compute_row(name),
-        "figure9": figure9.compute_row(name),
+        "figure9": figure9.compute_row(name, backend=backend),
         "table3": table3.compute_row(name),
     }
     if name in ACES_APPS:
-        rows["table2"] = table2.compute_rows(name)
+        rows["table2"] = table2.compute_rows(name, backend=backend)
         rows["figure10"] = figure10.compute_app(name)
         rows["figure11"] = figure11.compute_app(name)
     return rows
 
 
 def _app_rows_worker(job: tuple[str, str, str]) -> tuple[str, dict, dict]:
-    """Process-pool entry point: pin the worker's profile and
-    enforcement backend, then compute one app's rows.  Workers share
-    the parent's on-disk artifact store (``REPRO_CACHE`` is
-    inherited), so only the first process to need a build or run pays
-    for it; the returned counter dict lets the parent report aggregate
-    cache traffic."""
+    """Process-pool entry point: pin the worker's profile (an ambient
+    setting many helpers default from) and compute one app's rows; the
+    enforcement backend travels as an explicit parameter, never via
+    the environment.  Workers share the parent's on-disk artifact
+    store (``REPRO_CACHE`` is inherited), so only the first process to
+    need a build or run pays for it; the returned counter dict lets
+    the parent report aggregate cache traffic."""
     name, profile, backend = job
     os.environ["REPRO_PROFILE"] = profile
-    os.environ["REPRO_BACKEND"] = backend
     before = cache.counters_snapshot()
-    rows = _compute_app_rows(name)
+    rows = _compute_app_rows(name, backend=backend)
     return name, rows, cache.counters_delta(before)
 
 
-def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
+def compute_all_rows(jobs: Optional[int] = None,
+                     backend: Optional[str] = None) -> dict[str, list]:
     """All rows for Tables 1–3 and Figures 9–11.
 
     With ``jobs`` (default: ``REPRO_JOBS``) > 1, applications are
@@ -232,13 +235,13 @@ def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
     from . import figure9, table1
 
     jobs = repro_jobs() if jobs is None else max(1, jobs)
+    backend = backend or active_backend()
     counters = cache.CacheCounters()
     before = cache.counters_snapshot()
     if jobs > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         profile = active_profile()
-        backend = active_backend()
         per_app: dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=min(jobs, len(APP_NAMES))) as pool:
             for name, rows, worker_counters in pool.map(
@@ -247,7 +250,8 @@ def compute_all_rows(jobs: Optional[int] = None) -> dict[str, list]:
                 per_app[name] = rows
                 counters.merge(worker_counters)
     else:
-        per_app = {name: _compute_app_rows(name) for name in APP_NAMES}
+        per_app = {name: _compute_app_rows(name, backend=backend)
+                   for name in APP_NAMES}
     counters.merge(cache.counters_delta(before))
     return {
         "table1": table1.finalize_rows(

@@ -110,7 +110,7 @@ class DCMI:
         self.machine = None
         self.capture_latency_cycles = capture_latency_cycles
         self.frame = b""
-        self._fifo: list[int] = []
+        self._fifo: deque[int] = deque()
         self.captures = 0
 
     # -- host side ---------------------------------------------------
@@ -125,15 +125,15 @@ class DCMI:
         if offset == self.SR:
             return self.SR_FNE if self._fifo else 0
         if offset == self.DR:
-            return self._fifo.pop(0) if self._fifo else 0
+            return self._fifo.popleft() if self._fifo else 0
         return 0
 
     def mmio_write(self, offset: int, size: int, value: int) -> None:
         if offset == self.CR and value & self.CR_CAPTURE:
             if self.machine is not None:
                 self.machine.consume(self.capture_latency_cycles)
-            self._fifo = [
+            self._fifo = deque(
                 int.from_bytes(self.frame[i : i + 4], "little")
                 for i in range(0, len(self.frame), 4)
-            ]
+            )
             self.captures += 1

@@ -9,6 +9,8 @@ CMD17/CMD24, then stream 128 words through the FIFO.
 
 from __future__ import annotations
 
+from collections import deque
+
 BLOCK_SIZE = 512
 WORDS_PER_BLOCK = BLOCK_SIZE // 4
 
@@ -41,7 +43,7 @@ class SDCard:
         self.image[: len(image)] = image
         self.arg = 0
         self.power = 0
-        self._fifo: list[int] = []
+        self._fifo: deque[int] = deque()
         self._write_buffer: list[int] = []
         self._write_block = -1
         self.reads = 0
@@ -62,9 +64,10 @@ class SDCard:
     def _start_read(self, block: int) -> None:
         start = block * BLOCK_SIZE
         blob = self.image[start : start + BLOCK_SIZE]
-        self._fifo = [
-            int.from_bytes(blob[i : i + 4], "little") for i in range(0, BLOCK_SIZE, 4)
-        ]
+        self._fifo = deque(
+            int.from_bytes(blob[i : i + 4], "little")
+            for i in range(0, BLOCK_SIZE, 4)
+        )
         self.reads += 1
 
     def _commit_write(self) -> None:
@@ -81,7 +84,7 @@ class SDCard:
         if offset == self.RESP1:
             return 0x900  # "ready for data" card status
         if offset == self.FIFO:
-            return self._fifo.pop(0) if self._fifo else 0
+            return self._fifo.popleft() if self._fifo else 0
         if offset == self.ARG:
             return self.arg
         return 0

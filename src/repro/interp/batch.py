@@ -20,9 +20,14 @@ pays them once:
   interleaving cannot change any lane's simulated outcome; a batched
   lane's cycles, stats, and halt code are bit-identical to a solo run.
 
-* **Fault isolation.**  A lane that dies on a terminal
-  :class:`~repro.hw.exceptions.MachineError` records the error on its
-  lane and the rest of the fleet keeps running.
+* **Fault isolation.**  A lane that dies — on a terminal
+  :class:`~repro.hw.exceptions.MachineError` *or* on any other
+  exception escaping its interpreter, hooks, or device models —
+  records the error on its lane and the rest of the fleet keeps
+  running.  Non-``MachineError`` failures are wrapped in
+  :class:`LaneFailure` (carrying the lane name and the original
+  exception as ``__cause__``) so a campaign-scale sweep never loses
+  N-1 finished lanes to one buggy stimulus.
 
 ``REPRO_BATCH`` supplies a default lane count for harnesses
 (``repro bench batch``); like the other knobs it validates loudly.
@@ -43,11 +48,29 @@ from .interpreter import Interpreter
 DEFAULT_LANES = 8
 
 
+class LaneFailure(MachineError):
+    """A lane died on something other than a simulated-machine fault.
+
+    Raising hooks, buggy device models, and generator defects surface
+    here instead of killing the whole fleet; the original exception
+    rides along as ``__cause__``/``original``.
+    """
+
+    def __init__(self, lane_name: str, original: BaseException):
+        super().__init__(
+            f"lane {lane_name!r} failed: "
+            f"{type(original).__name__}: {original}")
+        self.lane_name = lane_name
+        self.original = original
+        self.__cause__ = original
+
+
 def batch_lanes(default: int = DEFAULT_LANES) -> int:
     """Lane count requested via ``REPRO_BATCH`` (default ``default``).
 
     Misspellings raise instead of silently running a different sweep
-    width under a benchmark.
+    width under a benchmark — and a non-numeric value reports itself
+    as such instead of masquerading as a lane-count range error.
     """
     raw = os.environ.get("REPRO_BATCH", "").strip()
     if raw == "":
@@ -55,7 +78,9 @@ def batch_lanes(default: int = DEFAULT_LANES) -> int:
     try:
         lanes = int(raw)
     except ValueError:
-        lanes = 0
+        raise ValueError(
+            f"REPRO_BATCH={raw!r} is not an integer"
+        ) from None
     if lanes < 1:
         raise ValueError(
             f"REPRO_BATCH={raw!r} is not a positive lane count"
@@ -161,6 +186,9 @@ class BatchRunner:
                 except MachineError as error:
                     lane.error = error
                     continue
+                except Exception as error:  # noqa: BLE001 — isolation
+                    lane.error = LaneFailure(lane.name, error)
+                    continue
                 lane.quanta += 1
                 if running:
                     still.append(lane)
@@ -178,5 +206,6 @@ __all__ = [
     "BatchLane",
     "BatchResult",
     "BatchRunner",
+    "LaneFailure",
     "batch_lanes",
 ]

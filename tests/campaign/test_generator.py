@@ -1,0 +1,84 @@
+"""Property suite for the seeded random firmware generator.
+
+Every corpus member — whatever the seed — must be a *valid* firmware:
+it passes the IR verifier, builds under all three flavours, and runs
+to a normal halt within the instruction budget on the MPU backend,
+with identical halt codes across flavours (enforcement never changes
+functional behaviour when nothing attacks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import build_aces
+from repro.campaign.generator import (
+    INSTRUCTION_BUDGET,
+    generate_firmware,
+)
+from repro.interp.batch import BatchRunner
+from repro.ir import print_module, verify_module
+from repro.pipeline import build_opec, build_vanilla
+
+SEEDS = [(2026, 0), (2026, 1), (7, 0), (1234, 2)]
+
+
+@pytest.fixture(scope="module", params=SEEDS,
+                ids=[f"s{s}f{i}" for s, i in SEEDS])
+def firmware(request):
+    seed, index = request.param
+    return generate_firmware(seed, index)
+
+
+def test_verifier_passes(firmware):
+    verify_module(firmware.module)
+
+
+def test_structure(firmware):
+    module = firmware.module
+    assert 3 <= len(firmware.tasks) <= 5
+    assert firmware.victim in firmware.tasks
+    assert firmware.gadget_owner in firmware.tasks
+    assert firmware.victim != firmware.gadget_owner
+    assert module.get_function("gadget") is not None
+    assert module.get_global("dispatch_table") is not None
+    assert 0 <= firmware.victim_slot < len(firmware.tasks)
+    # The planted arbitrary write is present in the victim only.
+    text = print_module(module)
+    assert text.count("inttoptr") >= len(firmware.tasks) + 1
+
+
+def test_builds_and_halts_identically_under_all_flavours(firmware):
+    vanilla = build_vanilla(firmware.module, firmware.board)
+    opec = build_opec(firmware.module, firmware.board,
+                      firmware.specs).image
+    aces = build_aces(firmware.module, firmware.board, "ACES2").image
+
+    runner = BatchRunner()
+    for name, image in (("vanilla", vanilla), ("opec", opec),
+                        ("aces", aces)):
+        runner.add(image, name=name, setup=firmware.base_setup(),
+                   max_instructions=INSTRUCTION_BUDGET, backend="mpu")
+    result = runner.run()
+    assert not result.failed, [str(lane.error)
+                               for lane in result.failed]
+    codes = {lane.name: lane.halt_code for lane in result.lanes}
+    assert codes["vanilla"] == codes["opec"] == codes["aces"]
+    assert codes["vanilla"] is not None
+    for lane in result.lanes:
+        assert (lane.interpreter.instructions_executed
+                <= INSTRUCTION_BUDGET)
+
+
+def test_same_seed_same_module():
+    one = generate_firmware(99, 3)
+    two = generate_firmware(99, 3)
+    assert print_module(one.module) == print_module(two.module)
+    assert one.victim == two.victim
+    assert one.victim_slot == two.victim_slot
+
+
+def test_different_index_different_module():
+    one = generate_firmware(99, 0)
+    two = generate_firmware(99, 1)
+    assert print_module(one.module) != print_module(two.module)

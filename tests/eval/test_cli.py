@@ -1,5 +1,7 @@
 """Tests for the command-line front end."""
 
+import os
+
 import pytest
 
 from repro.cli import main
@@ -37,6 +39,50 @@ def test_run_vanilla(capsys):
     assert main(["run", "PinLock", "--build", "vanilla"]) == 0
     out = capsys.readouterr().out
     assert "halt=" in out
+
+
+def test_backend_flag_does_not_mutate_environ(capsys, monkeypatch):
+    """Regression: ``--backend`` must travel as a call parameter, not
+    by exporting ``REPRO_BACKEND`` — a library caller invoking the
+    command twice with different backends must not leak the first
+    choice into ambient state."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    before = dict(os.environ)
+    assert main(["run", "PinLock", "--build", "opec",
+                 "--backend", "pmp"]) == 0
+    assert "REPRO_BACKEND" not in os.environ
+    assert dict(os.environ) == before
+    out = capsys.readouterr().out
+    assert "halt=" in out
+
+
+def test_backend_flag_changes_cycles(capsys):
+    """The explicit parameter must actually reach the simulator: the
+    PMP substrate prices switches differently from the MPU."""
+    assert main(["run", "PinLock", "--build", "opec",
+                 "--backend", "mpu"]) == 0
+    mpu_out = capsys.readouterr().out
+    assert main(["run", "PinLock", "--build", "opec",
+                 "--backend", "pmp"]) == 0
+    pmp_out = capsys.readouterr().out
+    mpu_cycles = int(mpu_out.split("cycles=")[1].split()[0])
+    pmp_cycles = int(pmp_out.split("cycles=")[1].split()[0])
+    assert mpu_cycles != pmp_cycles
+
+
+def test_campaign_command(capsys, tmp_path):
+    base = tmp_path / "camp"
+    assert main(["campaign", "--seed", "11", "--firmwares", "1",
+                 "--attacks", "global", "--backends", "mpu",
+                 "--jobs", "1", "--output", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "Differential security campaign" in out
+    assert "verdicts" in out
+    report = (tmp_path / "camp.txt").read_text()
+    assert "seed 11" in report
+    rows = (tmp_path / "camp.tsv").read_text().splitlines()
+    assert rows[0].startswith("record\tfirmware\tattack")
+    assert any(line.startswith("cell\t") for line in rows)
 
 
 def test_eval_table3(capsys):

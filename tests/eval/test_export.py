@@ -16,3 +16,8 @@ def test_export_writes_text_and_tsv(tmp_path):
     assert any(line.startswith("PinLock") for line in tsv)
     table1_txt = (tmp_path / "table1.txt").read_text()
     assert "#OPs" in table1_txt
+    assert "campaign_smoke.txt" in names
+    assert "campaign_smoke.tsv" in names
+    campaign_txt = (tmp_path / "campaign_smoke.txt").read_text()
+    assert "PASS (OPEC strictly more)" in campaign_txt
+    assert "PASS (OPEC strictly lower)" in campaign_txt

@@ -108,6 +108,19 @@ class TestSDCard:
         card = SDCard()
         assert card.mmio_read(SDCard.STA, 4) & SDCard.STA_CMDREND
 
+    def test_fifo_drains_in_word_order(self):
+        """Regression: the FIFO must pop from the front (oldest word
+        first), not from the tail — each word of a block comes out in
+        storage order."""
+        blob = b"".join(i.to_bytes(4, "little") for i in range(128))
+        card = SDCard(image=blob)
+        card.machine = FakeMachine()
+        card.mmio_write(SDCard.ARG, 4, 0)
+        card.mmio_write(SDCard.CMD, 4, SDCard.CMD_READ_BLOCK)
+        words = [card.mmio_read(SDCard.FIFO, 4) for _ in range(128)]
+        assert words == list(range(128))
+        assert card.mmio_read(SDCard.FIFO, 4) == 0  # drained
+
 
 class TestDisplay:
     def test_ltdc_counts_frames(self):
@@ -169,6 +182,18 @@ class TestNetwork:
         assert dcmi.mmio_read(DCMI.SR, 4) & DCMI.SR_FNE
         assert dcmi.mmio_read(DCMI.DR, 4) == 1
         assert dcmi.mmio_read(DCMI.DR, 4) == 2
+        assert not dcmi.mmio_read(DCMI.SR, 4) & DCMI.SR_FNE
+
+    def test_dcmi_fifo_drains_in_frame_order(self):
+        """Regression: DR pops the oldest captured word first, so the
+        drained stream reproduces the frame byte-for-byte."""
+        dcmi = DCMI(capture_latency_cycles=0)
+        dcmi.machine = FakeMachine()
+        frame = b"".join(i.to_bytes(4, "little") for i in range(64))
+        dcmi.set_frame(frame)
+        dcmi.mmio_write(DCMI.CR, 4, DCMI.CR_CAPTURE)
+        words = [dcmi.mmio_read(DCMI.DR, 4) for _ in range(64)]
+        assert words == list(range(64))
         assert not dcmi.mmio_read(DCMI.SR, 4) & DCMI.SR_FNE
 
 

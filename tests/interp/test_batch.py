@@ -13,7 +13,8 @@ import repro.ir as ir
 from repro.hw import Machine, stm32f4_discovery
 from repro.image import build_vanilla_image
 from repro.interp import BatchRunner, Interpreter, batch_lanes
-from repro.interp.batch import DEFAULT_LANES
+from repro.interp.batch import DEFAULT_LANES, LaneFailure
+from repro.interp.hooks import RuntimeHooks
 from repro.obs.metrics import MetricsRegistry
 from repro.ir import I32
 
@@ -36,6 +37,23 @@ def _crash_module():
     return module
 
 
+def _calling_module():
+    module = ir.Module("caller")
+    helper, b = ir.define(module, "helper", ir.VOID, [])
+    b.ret_void()
+    _m, b = ir.define(module, "main", I32, [])
+    b.call(helper)
+    b.halt(7)
+    return module
+
+
+class _ExplodingHooks(RuntimeHooks):
+    """Host-side defect stand-in: raises a non-MachineError mid-run."""
+
+    def is_switch_point(self, interp, callee):
+        raise RuntimeError("hook exploded")
+
+
 class TestReproBatch:
     def test_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_BATCH", raising=False)
@@ -50,6 +68,17 @@ class TestReproBatch:
     def test_invalid_raises(self, monkeypatch, raw):
         monkeypatch.setenv("REPRO_BATCH", raw)
         with pytest.raises(ValueError, match="REPRO_BATCH"):
+            batch_lanes()
+
+    @pytest.mark.parametrize("raw", ["many", "2.5"])
+    def test_non_integer_distinct_message(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH", raw)
+        with pytest.raises(ValueError, match="not an integer"):
+            batch_lanes()
+
+    def test_non_positive_distinct_message(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        with pytest.raises(ValueError, match="not a positive"):
             batch_lanes()
 
 
@@ -123,6 +152,31 @@ class TestFaultIsolation:
         assert "unmapped" in str(result.failed[0].error)
         for lane in result.lanes:
             if lane.name != "doomed":
+                assert lane.error is None
+                assert lane.halt_code == sum(range(50))
+
+    def test_host_defect_wrapped_and_isolated(self):
+        """A non-MachineError escaping a lane (a raising hook) must be
+        wrapped as LaneFailure — naming the lane and chaining the
+        original — while sibling lanes finish normally."""
+        board = stm32f4_discovery()
+        good = build_vanilla_image(_loop_module(50), board)
+        buggy = build_vanilla_image(_calling_module(), board)
+        runner = BatchRunner()
+        runner.add(good, name="good0")
+        runner.add(buggy, name="buggy", hooks=_ExplodingHooks())
+        runner.add(good, name="good1")
+        result = runner.run()
+        assert [lane.name for lane in result.failed] == ["buggy"]
+        failure = result.failed[0].error
+        assert isinstance(failure, LaneFailure)
+        assert failure.lane_name == "buggy"
+        assert "buggy" in str(failure)
+        assert "RuntimeError" in str(failure)
+        assert isinstance(failure.original, RuntimeError)
+        assert failure.__cause__ is failure.original
+        for lane in result.lanes:
+            if lane.name != "buggy":
                 assert lane.error is None
                 assert lane.halt_code == sum(range(50))
 
