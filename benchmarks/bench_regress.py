@@ -22,7 +22,15 @@ changes have a perf trajectory to compare against:
   SVC boundaries, and MemManage retries;
 * ``batch_throughput`` — N lanes of the throughput firmware
   multiplexed through one process by the batch runner, sharing one
-  image and one set of compiled block closures.
+  image and one set of compiled block closures;
+* ``tracefuse_throughput`` / ``tracefuse_throughput_blocks`` — an
+  ALU-heavy hot loop (the shape where fusing whole iterations under
+  one batched cycle charge pays most) with loop-trace fusion on vs
+  per-block execution, pinning the fused tier's speedup trajectory and
+  its bit-identity;
+* ``warm_compile`` — the same firmware cold (compiling every closure
+  and persisting it) then warm (every closure rehydrated from the
+  artifact store): the warm pass must recompile **nothing**.
 
 For each workload the report records host wall-clock seconds *and* the
 simulated quantities (``cycles``, instructions, ``MachineStats``).
@@ -68,6 +76,28 @@ def _throughput_module(iterations: int = 100_000):
     return module
 
 
+def _alu_module(iterations: int = 300_000):
+    """A hot loop dominated by pure register compute: ~10 ALU ops per
+    iteration against 2 memory ops, so the fused tier's batched
+    charging covers long pure runs."""
+    module = ir.Module("alu")
+    _m, b = ir.define(module, "main", I32, [])
+    acc = b.alloca(I32)
+    b.store(7, acc)
+    with b.for_range(0, iterations) as load_i:
+        v = b.load(acc)
+        v = b.add(v, load_i())
+        v = b.xor(v, 0x5A5A5A5A)
+        v = b.shl(v, 1)
+        v = b.sub(v, 3)
+        v = b.lshr(v, 1)
+        v = b.mul(v, 3)
+        v = b.and_(v, 0x00FFFFFF)
+        b.store(v, acc)
+    b.halt(b.load(acc))
+    return module
+
+
 def _check_identical(name: str, compiled: dict, reference: dict) -> None:
     """Fail loudly if a compiled run's simulated numbers drift."""
     keys = ("instructions", "cycles", "stats", "halt_code", "switches")
@@ -79,13 +109,15 @@ def _check_identical(name: str, compiled: dict, reference: dict) -> None:
                 f"single-step runs: {compiled[key]!r} != {reference[key]!r}")
 
 
-def _run_throughput(block_compile: bool) -> dict:
+def _run_module(module, *, block_compile: bool,
+                trace_fuse=None) -> dict:
     board = stm32f4_discovery()
-    image = build_vanilla_image(_throughput_module(), board)
+    image = build_vanilla_image(module, board)
     machine = Machine(board)
     image.initialize_memory(machine)
     interp = Interpreter(machine, image, max_instructions=10_000_000,
-                         block_compile=block_compile)
+                         block_compile=block_compile,
+                         trace_fuse=trace_fuse)
     start = time.perf_counter()
     interp.run()
     wall = time.perf_counter() - start
@@ -95,7 +127,12 @@ def _run_throughput(block_compile: bool) -> dict:
         "cycles": machine.cycles,
         "stats": machine.stats.as_dict(),
         "insts_per_s": round(interp.instructions_executed / wall),
+        "compile_metrics": interp.compile_metrics.snapshot()["counters"],
     }
+
+
+def _run_throughput(block_compile: bool) -> dict:
+    return _run_module(_throughput_module(), block_compile=block_compile)
 
 
 def bench_vanilla_throughput() -> tuple[dict, dict]:
@@ -160,6 +197,67 @@ def bench_batch_throughput(lanes: int = BATCH_LANES) -> dict:
     }
 
 
+def bench_tracefuse_throughput() -> tuple[dict, dict]:
+    """The fused tier's headline: an ALU-heavy loop, fused vs
+    per-block, bit-identical by construction."""
+    fused = _run_module(_alu_module(), block_compile=True,
+                        trace_fuse=True)
+    if fused["compile_metrics"]["tracefuse.traces_compiled"] == 0:
+        raise SystemExit("tracefuse_throughput: hot loop never fused")
+    blocks = _run_module(_alu_module(), block_compile=True,
+                         trace_fuse=False)
+    _check_identical("tracefuse_throughput", fused, blocks)
+    fused["speedup_vs_blocks"] = round(
+        blocks["wall_clock_s"] / fused["wall_clock_s"], 3)
+    return fused, blocks
+
+
+def bench_warm_compile() -> dict:
+    """Cold vs warm codegen through the persistent closure cache.
+
+    Runs the same firmware twice against a private artifact store —
+    fresh module instances, so the warm pass models a fresh process —
+    and fails the harness if the warm pass compiled anything at all.
+    """
+    import os
+    import tempfile
+
+    from repro import cache
+
+    saved = os.environ.get("REPRO_CACHE")
+    with tempfile.TemporaryDirectory(prefix="repro-closures-") as tmp:
+        os.environ["REPRO_CACHE"] = tmp
+        cache.reset_store_state()
+        try:
+            cold = _run_module(_alu_module(), block_compile=True,
+                               trace_fuse=True)
+            warm = _run_module(_alu_module(), block_compile=True,
+                               trace_fuse=True)
+        finally:
+            if saved is None:
+                del os.environ["REPRO_CACHE"]
+            else:
+                os.environ["REPRO_CACHE"] = saved
+            cache.reset_store_state()
+    _check_identical("warm_compile", warm, cold)
+    warm_counters = warm["compile_metrics"]
+    for counter in ("blockcompile.blocks_compiled",
+                    "tracefuse.traces_compiled",
+                    "tracefuse.trace_rejects"):
+        if warm_counters[counter] != 0:
+            raise SystemExit(
+                f"warm_compile: warm run performed codegen "
+                f"({counter}={warm_counters[counter]})")
+    if warm_counters["closurecache.blocks_loaded"] == 0:
+        raise SystemExit("warm_compile: warm run loaded no closures")
+    return {
+        "cold_wall_s": cold["wall_clock_s"],
+        "warm_wall_s": warm["wall_clock_s"],
+        "cold_compile_metrics": cold["compile_metrics"],
+        "warm_compile_metrics": warm_counters,
+    }
+
+
 def main() -> int:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_interp.json"
     throughput, throughput_singlestep = bench_vanilla_throughput()
@@ -167,12 +265,16 @@ def main() -> int:
     pinlock_compiled = bench_pinlock_opec(block_compile=True)
     _check_identical("pinlock_opec_blockcompile", pinlock_compiled,
                      pinlock_mpu)
+    tracefuse, tracefuse_blocks = bench_tracefuse_throughput()
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": {
             "vanilla_throughput": throughput,
             "vanilla_throughput_singlestep": throughput_singlestep,
+            "tracefuse_throughput": tracefuse,
+            "tracefuse_throughput_blocks": tracefuse_blocks,
+            "warm_compile": bench_warm_compile(),
             "pinlock_opec": pinlock_mpu,
             "pinlock_opec_pmp": bench_pinlock_opec("pmp"),
             "pinlock_opec_overlay": bench_pinlock_opec("overlay"),

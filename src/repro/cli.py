@@ -155,6 +155,9 @@ def _cmd_metrics(args) -> int:
     print(result.machine.metrics.render(
         f"{args.app} [{args.build}] — halt={result.halt_code} "
         f"cycles={result.cycles}"))
+    if result.interpreter is not None:
+        print()
+        print(result.interpreter.compile_metrics.render("compile metrics"))
     return 0
 
 

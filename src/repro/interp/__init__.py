@@ -20,6 +20,14 @@ from .blockcompile import (
 )
 from .hooks import RuntimeHooks
 from .interpreter import ExecutionLimitExceeded, Frame, Interpreter
+from .tracefuse import (
+    DEFAULT_TRACE_THRESHOLD,
+    TRACEFUSE_OFF_VALUES,
+    TRACEFUSE_ON_VALUES,
+    compile_trace,
+    trace_fuse_enabled,
+    trace_threshold,
+)
 
 __all__ = [
     "CORE_EMULATION_COST", "DEFAULT_COST", "DIV_COST", "INSTRUCTION_COSTS",
@@ -27,6 +35,8 @@ __all__ = [
     "SWITCH_BASE_COST", "SYNC_WORD_COST",
     "BLOCKCOMPILE_OFF_VALUES", "BLOCKCOMPILE_ON_VALUES",
     "block_compile_enabled", "compile_block",
+    "DEFAULT_TRACE_THRESHOLD", "TRACEFUSE_OFF_VALUES", "TRACEFUSE_ON_VALUES",
+    "compile_trace", "trace_fuse_enabled", "trace_threshold",
     "BatchLane", "BatchResult", "BatchRunner", "batch_lanes",
     "RuntimeHooks", "ExecutionLimitExceeded", "Frame", "Interpreter",
 ]

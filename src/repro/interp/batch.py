@@ -139,8 +139,10 @@ class BatchRunner:
     ``run_image`` would.
     """
 
-    def __init__(self, *, block_compile: Optional[bool] = None):
+    def __init__(self, *, block_compile: Optional[bool] = None,
+                 trace_fuse: Optional[bool] = None):
         self.block_compile = block_compile
+        self.trace_fuse = trace_fuse
         self.lanes: list[BatchLane] = []
 
     def add(
@@ -166,7 +168,8 @@ class BatchRunner:
             hooks = default_hooks(machine, image)
         interp = Interpreter(machine, image, hooks,
                              max_instructions=max_instructions,
-                             block_compile=self.block_compile)
+                             block_compile=self.block_compile,
+                             trace_fuse=self.trace_fuse)
         interp.start(entry, tuple(args))
         lane = BatchLane(
             name=name or f"lane{len(self.lanes)}",

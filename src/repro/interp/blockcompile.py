@@ -229,8 +229,19 @@ class _BlockCompiler:
     # -- shared snippets ----------------------------------------------
 
     def _flush(self, i: int) -> list[str]:
+        """Statements syncing interpreter state before any escape.
+
+        Every emitter routes its escape paths through here (and
+        :meth:`_flush_in` inside ``try``/``if`` bodies), so a subclass
+        compiling multi-block traces can extend the flush — e.g. also
+        restoring ``frame.block`` — without re-emitting the handlers.
+        """
         return ["interp.instructions_executed = n",
                 f"frame.index = {i}"]
+
+    def _flush_in(self, i: int, depth: int = 1) -> list[str]:
+        """The flush statements indented ``depth`` levels."""
+        return ["    " * depth + stmt for stmt in self._flush(i)]
 
     _FP_BIND = [
         "enf = machine.enforcement",
@@ -456,8 +467,7 @@ class _BlockCompiler:
         return _Emitted([
             f"interp.sp = __sp = (interp.sp - {inst.byte_size}) & -4",
             "if __sp < interp.image.stack_limit:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             f"    raise HardFault({msg!r} % __sp)",
             f"regs[{dst}] = __sp",
         ])
@@ -482,16 +492,14 @@ class _BlockCompiler:
             "        n_mm.value += 1",
             f"        raise MemManageFault(__a, {size}, False, value=0)",
             "except (MemManageFault, BusFault) as __f:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             f"    __v = interp._retry_access("
             f"lambda __a=__a: machine.load(__a, {size}), __f)",
         ] + ["    " + line for line in self._FP_BIND] + [
             # Unmapped accesses (and device models) raise HardFault
             # straight out of mem_read: flush before it escapes.
             "except Exception:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             "    raise",
             f"regs[{dst}] = __v & {mask}",
         ]
@@ -519,8 +527,7 @@ class _BlockCompiler:
             "        n_mm.value += 1",
             f"        raise MemManageFault(__a, {size}, True, value=__v)",
             "except (MemManageFault, BusFault) as __f:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             f"    interp._retry_access("
             f"lambda __a=__a, __v=__v: machine.store(__a, {size}, __v)"
             f" or 0, __f)",
@@ -528,8 +535,7 @@ class _BlockCompiler:
             # Unmapped accesses (and device models) raise HardFault
             # straight out of mem_write: flush before it escapes.
             "except Exception:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             "    raise",
         ]
         if ga or gv:
@@ -569,8 +575,7 @@ class _BlockCompiler:
             f"__t = {target}",
             "__c = interp.image.function_at(__t)",
             "if __c is None:",
-            "    interp.instructions_executed = n",
-            f"    frame.index = {i}",
+        ] + self._flush_in(i) + [
             "    raise HardFault("
             "'icall to non-function address 0x%08X' % __t)",
             f"__args = [{', '.join(exprs)}]",

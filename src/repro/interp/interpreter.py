@@ -77,8 +77,14 @@ from ..obs.events import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.recorder import attach_crash_context
 from .blockcompile import block_compile_enabled, compile_block
+from .closurecache import (
+    note_compiled as _cache_note_compiled,
+    preload as _cache_preload,
+    save as _cache_save,
+)
 from .costs import DEFAULT_COST, DIV_COST, INSTRUCTION_COSTS
 from .hooks import RuntimeHooks
+from .tracefuse import compile_trace, trace_fuse_enabled, trace_threshold
 
 _WORD = 0xFFFFFFFF
 _MAX_FAULT_RETRIES = 16
@@ -129,6 +135,7 @@ class Interpreter:
         hooks: Optional[RuntimeHooks] = None,
         max_instructions: int = 100_000_000,
         block_compile: Optional[bool] = None,
+        trace_fuse: Optional[bool] = None,
     ):
         self.machine = machine
         self.image = image
@@ -147,6 +154,13 @@ class Interpreter:
         if block_compile is None:
             block_compile = block_compile_enabled()
         self.block_compile = bool(block_compile)
+        # Trace fusion rides on top of block compilation (its fallback
+        # tier): ``None`` → REPRO_TRACEFUSE, default on, and forced
+        # off whenever block compilation itself is off.
+        if trace_fuse is None:
+            trace_fuse = self.block_compile and trace_fuse_enabled()
+        self.trace_fuse = self.block_compile and bool(trace_fuse)
+        self._trace_threshold = trace_threshold() if self.trace_fuse else 0
         self.compile_metrics = MetricsRegistry()
         self._n_blocks_compiled = self.compile_metrics.counter(
             "blockcompile.blocks_compiled")
@@ -156,6 +170,26 @@ class Interpreter:
             "blockcompile.block_entries")
         self._n_fallback_steps = self.compile_metrics.counter(
             "blockcompile.fallback_steps")
+        self._n_traces_compiled = self.compile_metrics.counter(
+            "tracefuse.traces_compiled")
+        self._n_trace_rejects = self.compile_metrics.counter(
+            "tracefuse.trace_rejects")
+        self._n_trace_entries = self.compile_metrics.counter(
+            "tracefuse.trace_entries")
+        self._n_cache_blocks_loaded = self.compile_metrics.counter(
+            "closurecache.blocks_loaded")
+        self._n_cache_traces_loaded = self.compile_metrics.counter(
+            "closurecache.traces_loaded")
+        self._n_cache_saves = self.compile_metrics.counter(
+            "closurecache.saves")
+        if self.block_compile:
+            # Warm-start from the artifact store: cached closures land
+            # on the shared IR blocks, so the first interpreter of a
+            # module pays the (pickle) load and every later one — and
+            # every batch lane — starts warm for free.
+            loaded_blocks, loaded_traces = _cache_preload(image.module)
+            self._n_cache_blocks_loaded.value += loaded_blocks
+            self._n_cache_traces_loaded.value += loaded_traces
         # Optional function-granularity trace (GDB single-step stand-in,
         # §6.4): the evaluation harness records executed functions per task.
         self.on_function_enter: Optional[Callable[[Function], None]] = None
@@ -217,16 +251,35 @@ class Interpreter:
                     and self._irq_depth == 0):
                 frame = self.frames[-1]
                 block = frame.block
-                try:
-                    fn = block._compiled
-                except AttributeError:
-                    fn = self._compile(block)
-                if fn is None:
-                    self._n_fallback_steps.value += 1
-                    self.step()
-                else:
-                    self._n_block_entries.value += 1
-                    fn(self, frame, machine, frame.index)
+                entered_trace = False
+                if (self.trace_fuse and frame.index == 0
+                        and not machine._systick_armed):
+                    try:
+                        tr = block._trace
+                    except AttributeError:
+                        tr = block._trace = 0
+                    if tr is not None:
+                        if tr.__class__ is int:
+                            tr += 1
+                            if tr >= self._trace_threshold:
+                                tr = self._compile_trace(block)
+                            else:
+                                block._trace = tr
+                                tr = None
+                        if tr is not None and tr(self, frame, machine):
+                            self._n_trace_entries.value += 1
+                            entered_trace = True
+                if not entered_trace:
+                    try:
+                        fn = block._compiled
+                    except AttributeError:
+                        fn = self._compile(block)
+                    if fn is None:
+                        self._n_fallback_steps.value += 1
+                        self.step()
+                    else:
+                        self._n_block_entries.value += 1
+                        fn(self, frame, machine, frame.index)
             else:
                 if self.block_compile:
                     self._n_fallback_steps.value += 1
@@ -250,6 +303,8 @@ class Interpreter:
         if recorder is not None:
             recorder.instant(EV_HALT, label, machine.cycles,
                              args={"code": code})
+        if self.block_compile and _cache_save(self.image.module):
+            self._n_cache_saves.value += 1
         return code
 
     def _run_compiled(self) -> None:
@@ -275,6 +330,9 @@ class Interpreter:
         step = self.step
         entries = self._n_block_entries
         fallbacks = self._n_fallback_steps
+        trace_fuse = self.trace_fuse
+        threshold = self._trace_threshold
+        trace_entries = self._n_trace_entries
         while frames:
             if (pending and self._irq_depth == 0) or self._irq_depth > 0:
                 fallbacks.value += 1
@@ -282,6 +340,30 @@ class Interpreter:
                 continue
             frame = frames[-1]
             block = frame.block
+            # Tier 3: a hot block entered at index 0 with SysTick
+            # disarmed may anchor a fused loop trace.  ``_trace`` is
+            # tri-state on the IR block: an int heat counter, the
+            # compiled closure, or None (rejected).  The closure
+            # returns truthy when it committed progress; falsy means
+            # it bailed before executing anything, so fall through to
+            # the per-block tier below.
+            if (trace_fuse and frame.index == 0
+                    and not machine._systick_armed):
+                try:
+                    tr = block._trace
+                except AttributeError:
+                    tr = block._trace = 0
+                if tr is not None:
+                    if tr.__class__ is int:
+                        tr += 1
+                        if tr >= threshold:
+                            tr = self._compile_trace(block)
+                        else:
+                            block._trace = tr
+                            tr = None
+                    if tr is not None and tr(self, frame, machine):
+                        trace_entries.value += 1
+                        continue
             try:
                 fn = block._compiled
             except AttributeError:
@@ -300,6 +382,17 @@ class Interpreter:
             self._n_compile_errors.value += 1
         else:
             self._n_blocks_compiled.value += 1
+        _cache_note_compiled(self.image.module)
+        return fn
+
+    def _compile_trace(self, block: BasicBlock):
+        """``block`` went hot: build (or reject) its loop trace."""
+        fn = compile_trace(block)
+        if fn is None:
+            self._n_trace_rejects.value += 1
+        else:
+            self._n_traces_compiled.value += 1
+        _cache_note_compiled(self.image.module)
         return fn
 
     def call_function(self, func: Function, args: list[int],

@@ -28,11 +28,12 @@ class BasicBlock:
         self.instructions: list[Instruction] = []
 
     def __getstate__(self) -> dict:
-        # The compiled closure is a host-side cache, not IR: closures
-        # don't pickle (modules ride the artifact cache), and a
-        # rehydrated block simply recompiles on first execution.
+        # Compiled closures and trace state are host-side caches, not
+        # IR: closures don't pickle (modules ride the artifact cache),
+        # and a rehydrated block simply recompiles on first execution.
         state = dict(self.__dict__)
         state.pop("_compiled", None)
+        state.pop("_trace", None)
         return state
 
     def append(self, inst: Instruction) -> Instruction:

@@ -219,6 +219,7 @@ def run_image(
     recorder: Optional[FlightRecorder] = None,
     backend: Optional[BackendSpec] = None,
     block_compile: Optional[bool] = None,
+    trace_fuse: Optional[bool] = None,
 ) -> RunResult:
     """Load ``image`` onto a fresh machine and run it to halt.
 
@@ -230,6 +231,8 @@ def run_image(
     when left ``None`` the ambient ``REPRO_BACKEND`` applies.
     ``block_compile`` overrides superinstruction execution; when left
     ``None`` the ambient ``REPRO_BLOCKCOMPILE`` (default on) applies.
+    ``trace_fuse`` overrides loop-trace fusion the same way
+    (``REPRO_TRACEFUSE``, default on, inert without block compilation).
     """
     machine = prepare_machine(image, setup=setup, recorder=recorder,
                               backend=backend)
@@ -237,7 +240,8 @@ def run_image(
         hooks = default_hooks(machine, image)
     interp = Interpreter(machine, image, hooks,
                          max_instructions=max_instructions,
-                         block_compile=block_compile)
+                         block_compile=block_compile,
+                         trace_fuse=trace_fuse)
     code = interp.run(entry=entry)
     return RunResult(
         halt_code=code, cycles=machine.cycles, machine=machine,

@@ -83,12 +83,32 @@ def test_repro_jobs_env(monkeypatch):
 def test_compute_all_rows_sections_and_order():
     rows = workloads.compute_all_rows(jobs=1)
     assert set(rows) == {"table1", "figure9", "table2", "figure10",
-                         "figure11", "table3", "cache"}
+                         "figure11", "table3", "cache", "compile"}
     assert set(rows["cache"]) == {"hits", "misses", "stores", "corrupt",
                                   "bytes_read", "bytes_written"}
     assert [r.app for r in rows["table1"]] == \
         [*workloads.APP_NAMES, "Average"]
     assert [r.app for r in rows["table3"]] == list(workloads.APP_NAMES)
+
+
+def test_compute_all_rows_aggregates_compile_metrics(monkeypatch):
+    """Interpreter compile metrics used to die with each worker's
+    interpreters; ``compute_all_rows`` must fold them into the merged
+    output.  Cache off so the runs actually execute (and compile);
+    compilation pinned on so the counters are nonzero even when the CI
+    matrix runs the suite with the tiers disabled."""
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.setenv("REPRO_BLOCKCOMPILE", "on")
+    monkeypatch.setenv("REPRO_TRACEFUSE", "on")
+    workloads.clear_caches()
+    try:
+        rows = workloads.compute_all_rows(jobs=1)
+        compile_totals = rows["compile"]
+        assert compile_totals.get("blockcompile.blocks_compiled", 0) > 0
+        assert compile_totals.get("blockcompile.block_entries", 0) > 0
+        assert list(compile_totals) == sorted(compile_totals)
+    finally:
+        workloads.clear_caches()
 
 
 def test_compute_all_rows_parallel_merge_identical():
@@ -97,9 +117,11 @@ def test_compute_all_rows_parallel_merge_identical():
     dataclasses compare by value, floats included)."""
     serial = workloads.compute_all_rows(jobs=1)
     parallel = workloads.compute_all_rows(jobs=2)
-    # Cache traffic legitimately differs between the two paths (the
-    # serial pass warms the in-process memos the parallel workers
-    # cannot see); every *table* must merge identically.
-    serial.pop("cache")
-    parallel.pop("cache")
+    # Cache traffic and compile activity legitimately differ between
+    # the two paths (the serial pass warms the in-process memos the
+    # parallel workers cannot see); every *table* must merge
+    # identically.
+    for diagnostic in ("cache", "compile"):
+        serial.pop(diagnostic)
+        parallel.pop(diagnostic)
     assert serial == parallel

@@ -88,15 +88,20 @@ class TestBatchIdentity:
         board = stm32f4_discovery()
         image = build_vanilla_image(module, board)
 
+        # Per-block tier only: the block-entry accounting below counts
+        # one entry per block, which loop fusion deliberately elides
+        # (fused batch identity has its own coverage in the tracefuse
+        # suites).
         solo_machine = Machine(board)
         image.initialize_memory(solo_machine)
-        solo = Interpreter(solo_machine, image, block_compile=True)
+        solo = Interpreter(solo_machine, image, block_compile=True,
+                           trace_fuse=False)
         solo_code = solo.run()
         solo_compiled = solo.compile_metrics.snapshot()["counters"]
         solo_sram = solo_machine.read_bytes(solo_machine.sram.base,
                                             solo_machine.sram.size)
 
-        runner = BatchRunner(block_compile=True)
+        runner = BatchRunner(block_compile=True, trace_fuse=False)
         for _ in range(3):
             runner.add(image)
         result = runner.run()
@@ -118,7 +123,7 @@ class TestBatchIdentity:
         assert aggregate["blockcompile.block_entries"] == \
             3 * solo_compiled["blockcompile.block_entries"]
 
-    def test_first_lane_warms_the_fleet(self):
+    def test_first_lane_warms_the_fleet(self, no_artifact_store):
         module = _loop_module(name="fresh")
         image = build_vanilla_image(module, stm32f4_discovery())
         runner = BatchRunner(block_compile=True)

@@ -3,15 +3,17 @@
 
 Re-runs the full evaluation export (``repro.eval.export``) under the
 same profile the committed ``results/`` were produced with
-(``REPRO_PROFILE=quick``) **four times** — once against an empty
+(``REPRO_PROFILE=quick``) **five times** — once against an empty
 artifact cache (cold, populating it), once against the now-populated
 cache (every build/run rehydrated from disk), once with
-``REPRO_CACHE=off``, and once with ``REPRO_BLOCKCOMPILE=off`` (the
-single-step reference interpreter) — and compares every file of every
-pass byte-for-byte against the committed tree.  That is the whole
-contract of both fast paths: a cache hit may only ever change *when*
-you get the bytes, and block compilation only *how fast* the simulated
-machine is stepped — never *which* bytes you get.
+``REPRO_CACHE=off``, once with ``REPRO_BLOCKCOMPILE=off`` (the
+single-step reference interpreter), and once with
+``REPRO_TRACEFUSE=off`` (per-block execution without loop fusion) —
+and compares every file of every pass byte-for-byte against the
+committed tree.  That is the whole contract of the fast paths: a cache
+hit may only ever change *when* you get the bytes, and block
+compilation / trace fusion only *how fast* the simulated machine is
+stepped — never *which* bytes you get.
 
 The single tolerated exception is the analysis wall-clock column of
 Table 3 (``time_s`` / ``Time(s)``): it measures the host machine, not
@@ -155,16 +157,22 @@ def main() -> int:
         env["REPRO_BLOCKCOMPILE"] = "off"
         check_export(committed, env, "blockcompile-off", failures)
         del env["REPRO_BLOCKCOMPILE"]
+        # Pass 5: per-block tier without loop fusion.  Same bytes or
+        # the trace fuser's batched charging is changing simulated
+        # behaviour.
+        env["REPRO_TRACEFUSE"] = "off"
+        check_export(committed, env, "tracefuse-off", failures)
+        del env["REPRO_TRACEFUSE"]
     check_bench_analysis(env, failures)
     if failures:
         print("DETERMINISM CHECK FAILED")
         print("\n".join(failures))
         return 1
     print(f"determinism check passed: {count} files bit-identical across "
-          f"cold-cache, warm-cache ({entries} entries), cache-off and "
-          "blockcompile-off exports (table3 host wall-clock column "
-          "masked) and BENCH_analysis.json derived fields unchanged "
-          "(host timings masked)")
+          f"cold-cache, warm-cache ({entries} entries), cache-off, "
+          "blockcompile-off and tracefuse-off exports (table3 host "
+          "wall-clock column masked) and BENCH_analysis.json derived "
+          "fields unchanged (host timings masked)")
     return 0
 
 
