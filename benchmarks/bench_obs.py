@@ -8,6 +8,10 @@ recorder's design hinges on:
   does the interpreter match the canonical ``bench_regress`` harness?
   The hot step loop contains no observability code and the emit guards
   sit on cold seams only, so the throughput ratio must stay within 5%.
+  The ratio is the median of paired back-to-back trials (a single-shot
+  reference made the gate pure noise: the recorded overhead once came
+  out *negative*), and the gate is two-sided — a large ratio in either
+  direction means the comparison is not measuring what it claims to.
 * **enabled-mode cost** — what does attaching a
   :class:`~repro.obs.recorder.FlightRecorder` cost, both on a pure
   interpreter loop (vanilla throughput: almost no events) and on a
@@ -40,26 +44,22 @@ from repro.interp import Interpreter  # noqa: E402
 from repro.obs import FlightRecorder  # noqa: E402
 
 THRESHOLD_PCT = 5.0
-TRIALS = 5
+TRIALS = 9
 
 
-def bench_throughput(traced: bool) -> dict:
-    """The bench_regress vanilla loop, with/without a recorder."""
+def _throughput_once(traced: bool) -> dict:
+    """One timed run of the bench_regress vanilla loop, with/without a
+    recorder."""
     board = stm32f4_discovery()
     image = build_vanilla_image(_throughput_module(), board)
-    best = None
-    for _ in range(TRIALS):
-        machine = Machine(board)
-        if traced:
-            machine.recorder = FlightRecorder()
-        image.initialize_memory(machine)
-        interp = Interpreter(machine, image, max_instructions=10_000_000)
-        start = time.perf_counter()
-        interp.run()
-        wall = time.perf_counter() - start
-        if best is None or wall < best[0]:
-            best = (wall, interp, machine)
-    wall, interp, machine = best
+    machine = Machine(board)
+    if traced:
+        machine.recorder = FlightRecorder()
+    image.initialize_memory(machine)
+    interp = Interpreter(machine, image, max_instructions=10_000_000)
+    start = time.perf_counter()
+    interp.run()
+    wall = time.perf_counter() - start
     return {
         "wall_clock_s": round(wall, 4),
         "instructions": interp.instructions_executed,
@@ -67,6 +67,19 @@ def bench_throughput(traced: bool) -> dict:
         "insts_per_s": round(interp.instructions_executed / wall),
         "events": machine.recorder.seq if machine.recorder else 0,
     }
+
+
+def _best(previous: dict | None, run: dict) -> dict:
+    if previous is None or run["wall_clock_s"] < previous["wall_clock_s"]:
+        return run
+    return previous
+
+
+def bench_throughput(traced: bool) -> dict:
+    best = None
+    for _ in range(TRIALS):
+        best = _best(best, _throughput_once(traced))
+    return best
 
 
 def bench_pinlock(traced: bool) -> dict:
@@ -100,23 +113,48 @@ def _overhead_pct(disabled_s: float, reference_s: float) -> float:
     return round((disabled_s / reference_s - 1) * 100, 2)
 
 
+def _disabled_vs_reference() -> tuple[dict, dict, float]:
+    """Measure the disabled-mode overhead as the *median of paired
+    per-trial ratios*: each trial runs the canonical-harness reference
+    and this script's disabled-mode harness back to back, so host
+    drift (frequency scaling, noisy neighbours) is common-mode within
+    a pair and cancels in the ratio, and the median shrugs off a noise
+    burst hitting any one pair.  The previous shapes both failed: a
+    single-shot reference against best-of-N systematically reported
+    *negative* overhead, and best-of-N on both sides still swung past
+    the 5 % gate because sequential trial blocks let drift land
+    entirely on one side.  The compiled (block-compile on) harness is
+    the reference — the default execution tier this script's own runs
+    use — and one single-step run pins that it charges identical
+    simulated quantities."""
+    import statistics
+
+    from bench_regress import _check_identical, _run_throughput
+
+    _run_throughput(block_compile=True)       # warm-up: compile once
+    _throughput_once(traced=False)
+    best_ref = best_off = None
+    ratios = []
+    for _ in range(TRIALS):
+        ref = _run_throughput(block_compile=True)
+        off = _throughput_once(traced=False)
+        ratios.append(off["wall_clock_s"] / ref["wall_clock_s"])
+        best_ref = _best(best_ref, ref)
+        best_off = _best(best_off, off)
+    singlestep = _run_throughput(block_compile=False)
+    _check_identical("vanilla_throughput", best_ref, singlestep)
+    overhead_pct = round((statistics.median(ratios) - 1) * 100, 2)
+    return best_ref, best_off, overhead_pct
+
+
 def main() -> int:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_obs.json"
 
-    # Canonical harness reference (same workload, same code path,
-    # machine left entirely untouched by this script).  The compiled
-    # (block-compile on) number is the reference: that is the default
-    # execution tier this script's own runs use.
-    from bench_regress import bench_vanilla_throughput
-
-    reference, _singlestep = bench_vanilla_throughput()
-    throughput_off = bench_throughput(traced=False)
+    reference, throughput_off, disabled_overhead_pct = \
+        _disabled_vs_reference()
     throughput_on = bench_throughput(traced=True)
     pinlock_off = bench_pinlock(traced=False)
     pinlock_on = bench_pinlock(traced=True)
-
-    disabled_overhead_pct = _overhead_pct(
-        throughput_off["wall_clock_s"], reference["wall_clock_s"])
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -143,7 +181,9 @@ def main() -> int:
             },
         },
         "disabled_overhead_pct": disabled_overhead_pct,
-        "pass": disabled_overhead_pct < THRESHOLD_PCT,
+        # Two-sided: a large negative "overhead" is a broken
+        # comparison, not a win.
+        "pass": abs(disabled_overhead_pct) < THRESHOLD_PCT,
     }
     # Observability must not change simulated quantities.
     for pair in (("vanilla_throughput", "cycles"), ("pinlock_opec", "cycles")):

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import zlib
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
@@ -106,19 +107,24 @@ class ArtifactStore:
 
     def get(self, digest: str) -> Optional[Any]:
         """The stored object, or ``None`` on miss/corruption."""
+        # ``wall_us`` on the lookup events is host-side diagnostics
+        # (hot vs. cold store latency in the fleet trace); it never
+        # reaches a deterministic export.
+        start = time.perf_counter()
         path = self.path_for(digest)
         try:
             raw = path.read_bytes()
         except OSError:
             self._count("misses")
-            self._trace(CACHE_MISS, digest)
+            self._trace(CACHE_MISS, digest, wall_us=self._us(start))
             return None
         try:
             obj = self._decode(raw)
         except Exception:
             self._count("corrupt")
             self._count("misses")
-            self._trace(CACHE_MISS, digest, corrupt=1)
+            self._trace(CACHE_MISS, digest, corrupt=1,
+                        wall_us=self._us(start))
             try:
                 path.unlink()
             except OSError:
@@ -126,7 +132,8 @@ class ArtifactStore:
             return None
         self._count("hits")
         self._count("bytes_read", len(raw))
-        self._trace(CACHE_HIT, digest, bytes=len(raw))
+        self._trace(CACHE_HIT, digest, bytes=len(raw),
+                    wall_us=self._us(start))
         return obj
 
     def put(self, digest: str, obj: Any) -> int:
@@ -207,6 +214,10 @@ class ArtifactStore:
         setattr(self.counters, name, getattr(self.counters, name) + amount)
         setattr(GLOBAL_COUNTERS, name,
                 getattr(GLOBAL_COUNTERS, name) + amount)
+
+    @staticmethod
+    def _us(start: float) -> int:
+        return int((time.perf_counter() - start) * 1e6)
 
     @staticmethod
     def _trace(kind: str, digest: str, **args: int) -> None:

@@ -41,6 +41,10 @@ from .. import cache
 from ..baselines import build_aces
 from ..eval.metrics import pt_value
 from ..interp.batch import BatchRunner, LaneFailure
+from ..obs import fleet
+from ..obs.events import FLEET_FIRMWARE
+from ..obs.recorder import FlightRecorder, active_recorder, install, \
+    trace_capacity
 from ..pipeline import build_opec, build_vanilla
 from .attacks import ATTACK_KINDS, attack_setup, resolve_attack
 from .generator import GeneratedFirmware, generate_firmware
@@ -67,6 +71,11 @@ class CampaignConfig:
     # hiding exactly the over-privilege the campaign measures.
     aces_strategy: str = "ACES2"
     jobs: Optional[int] = None          # None → REPRO_JOBS
+    # Install a host-side flight recorder in every worker so the
+    # telemetry envelopes carry ``fleet.firmware`` wall-clock spans
+    # (``repro fleet campaign`` turns this on).  Not part of the
+    # report digest: tracing never changes a simulated outcome.
+    telemetry_trace: bool = False
 
     def validate(self) -> None:
         if self.firmwares < 1:
@@ -123,6 +132,11 @@ class FirmwareReport:
 class CampaignResult:
     config: CampaignConfig
     reports: list[FirmwareReport]
+    # One WorkerTelemetry envelope per firmware evaluation (corpus
+    # index order), aggregated by ``repro campaign``'s footer and
+    # ``repro fleet campaign``.  Diagnostic: cache/compile content
+    # varies with cache temperature; never rendered into the report.
+    telemetry: list = field(default_factory=list)
 
 
 def _classify(lane, plan) -> LaneOutcome:
@@ -224,44 +238,49 @@ def evaluate_firmware(config: CampaignConfig, index: int) -> FirmwareReport:
         if cached is not None:
             return cached
 
-    images = _build_images(config, firmware)
-    plans = {
-        (kind, flavour): resolve_attack(kind, firmware, images[flavour])
-        for flavour in config.flavours
-        for kind in config.attacks
-    }
+    with fleet.wall_span(active_recorder(), FLEET_FIRMWARE,
+                         firmware.name, index=index):
+        images = _build_images(config, firmware)
+        plans = {
+            (kind, flavour): resolve_attack(kind, firmware,
+                                            images[flavour])
+            for flavour in config.flavours
+            for kind in config.attacks
+        }
 
-    runner = BatchRunner()
-    lane_plans = []
-    for flavour in config.flavours:
-        image = images[flavour]
-        for backend in config.backends:
-            runner.add(
-                image,
-                name=f"{firmware.name}:{flavour}:{backend}:baseline",
-                setup=firmware.base_setup(),
-                max_instructions=firmware.max_instructions,
-                backend=backend,
-            )
-            lane_plans.append((None, flavour, backend, None))
-            for kind in config.attacks:
-                plan = plans[(kind, flavour)]
+        runner = BatchRunner()
+        lane_plans = []
+        for flavour in config.flavours:
+            image = images[flavour]
+            for backend in config.backends:
                 runner.add(
                     image,
-                    name=f"{firmware.name}:{flavour}:{backend}:{kind}",
-                    setup=attack_setup(firmware, plan),
+                    name=f"{firmware.name}:{flavour}:{backend}:baseline",
+                    setup=firmware.base_setup(),
                     max_instructions=firmware.max_instructions,
                     backend=backend,
                 )
-                lane_plans.append((kind, flavour, backend, plan))
-    result = runner.run()
+                lane_plans.append((None, flavour, backend, None))
+                for kind in config.attacks:
+                    plan = plans[(kind, flavour)]
+                    runner.add(
+                        image,
+                        name=f"{firmware.name}:{flavour}:{backend}:{kind}",
+                        setup=attack_setup(firmware, plan),
+                        max_instructions=firmware.max_instructions,
+                        backend=backend,
+                    )
+                    lane_plans.append((kind, flavour, backend, plan))
+        result = runner.run()
 
+    fleet.record_simulation(compile_metrics=result.compile_metrics)
     report = FirmwareReport(
         name=firmware.name, index=index, tasks=len(firmware.tasks),
         victim=firmware.victim, pt=_pt_values(config, firmware, images),
     )
     for lane, (kind, flavour, backend, plan) in zip(result.lanes,
                                                     lane_plans):
+        fleet.record_simulation(lane.machine.metrics)
         outcome = _classify(lane, plan)
         if kind is None:
             report.baseline[(flavour, backend)] = outcome
@@ -287,12 +306,30 @@ def _report_digest(config: CampaignConfig,
     return key.hexdigest()
 
 
-def _firmware_worker(job: tuple[CampaignConfig, int]) -> FirmwareReport:
+def _firmware_worker(
+        job: tuple[CampaignConfig, int],
+) -> tuple[FirmwareReport, fleet.WorkerTelemetry]:
     """Process-pool entry point.  No environment pinning: every
     parameter the lanes depend on travels inside ``config``, and the
-    artifact store location is inherited."""
+    artifact store location is inherited.  Each firmware evaluates
+    inside its own telemetry capture window, so the returned envelope
+    carries exactly that firmware's cache traffic, compile activity,
+    simulated metrics, and — under ``config.telemetry_trace`` — its
+    ``fleet.firmware`` wall-clock span."""
     config, index = job
-    return evaluate_firmware(config, index)
+    recorder = FlightRecorder(trace_capacity()) \
+        if config.telemetry_trace else None
+    previous = install(recorder) if recorder is not None else None
+    token = fleet.begin_capture()
+    try:
+        report = evaluate_firmware(config, index)
+    finally:
+        if recorder is not None:
+            install(previous)
+        envelope = fleet.end_capture(
+            token,
+            host_events=recorder.events() if recorder is not None else ())
+    return report, envelope
 
 
 def run_campaign(config: CampaignConfig) -> CampaignResult:
@@ -311,16 +348,23 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
             # worker on one long-lived slice: the per-process build
             # memos and the warm closure cache amortise across the
             # chunk instead of being re-proven per pickled task.
-            reports = list(pool.map(
+            pairs = list(pool.map(
                 _firmware_worker,
                 [(config, index) for index in indices],
                 chunksize=-(-len(indices) // workers)))
     else:
-        reports = [evaluate_firmware(config, index) for index in indices]
+        pairs = [_firmware_worker((config, index)) for index in indices]
     # Workers return in map order (= corpus index order) already, but
     # sort defensively so the merge is order-independent by contract.
-    reports.sort(key=lambda report: report.index)
-    return CampaignResult(config=config, reports=reports)
+    pairs.sort(key=lambda pair: pair[0].index)
+    reports = [report for report, _ in pairs]
+    telemetry = []
+    for position, (report, envelope) in enumerate(pairs):
+        envelope.worker = position + 1
+        envelope.label = report.name
+        telemetry.append(envelope)
+    return CampaignResult(config=config, reports=reports,
+                          telemetry=telemetry)
 
 
 __all__ = [

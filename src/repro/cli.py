@@ -23,6 +23,12 @@ Usage (``python -m repro.cli <command>``):
 * ``campaign [--seed N] [--firmwares N] [--attacks ...]`` — run a
   differential security campaign over a seeded random-firmware corpus
   and print the containment / over-privilege / switch-cost report;
+* ``fleet TARGET [--jobs N] [--backends ...] [--output BASE]`` — run
+  an eval app (or ``all``, or ``campaign``) across a worker fleet,
+  fuse the per-worker telemetry envelopes into one multi-process
+  Perfetto trace (``BASE.json``) and print the fleet dashboard
+  (per-worker utilisation, cache hit rates, switch-cost histograms
+  per backend, lane fault rates);
 * ``attack`` — the PinLock §6.1 case-study demo.
 
 ``--backend`` is threaded through the call stack as an explicit
@@ -125,7 +131,10 @@ def _cmd_eval(args) -> int:
 def _cmd_trace(args) -> int:
     from .eval.tracing import record_app_trace
     from .obs import chrome_trace, event_tsv, trace_summary
+    from .obs.recorder import validate_capacity
 
+    if args.buf is not None:
+        validate_capacity(args.buf, "--buf")
     recorder, result = record_app_trace(
         args.app, args.build, profile=args.profile, capacity=args.buf,
         backend=args.backend)
@@ -266,6 +275,7 @@ def _cmd_bench(args) -> int:
 def _cmd_campaign(args) -> int:
     from .campaign import (CampaignConfig, render_report, report_rows,
                            run_campaign)
+    from .obs.fleet import telemetry_summary
 
     config = CampaignConfig(
         seed=args.seed,
@@ -289,6 +299,36 @@ def _cmd_campaign(args) -> int:
         print(f"report written to {base}.txt / {base}.tsv")
     else:
         print(text)
+    # Footer goes to stdout only — the report files above stay
+    # byte-identical across cache temperatures and job counts.
+    if result.telemetry:
+        print()
+        print(telemetry_summary(result.telemetry))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from .obs import fleet
+    from .obs.recorder import validate_capacity
+
+    jobs = None if args.jobs is None \
+        else fleet.validate_jobs(args.jobs, "--jobs")
+    capacity = None if args.buf is None \
+        else validate_capacity(args.buf, "--buf")
+    result = fleet.run_fleet(
+        args.target, jobs=jobs, profile=args.profile,
+        backends=tuple(args.backends) if args.backends else None,
+        capacity=capacity, trace=not args.no_trace,
+        seed=args.seed, firmwares=args.firmwares)
+    dashboard = fleet.render_dashboard(result)
+    print(dashboard)
+    if args.output:
+        with open(f"{args.output}.json", "w", encoding="utf-8") as handle:
+            handle.write(fleet.fuse_trace(result))
+        with open(f"{args.output}.txt", "w", encoding="utf-8") as handle:
+            handle.write(dashboard + "\n")
+        print(f"fleet trace written to {args.output}.json (load in "
+              f"Perfetto), dashboard to {args.output}.txt")
     return 0
 
 
@@ -441,6 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the report to OUTPUT.txt and "
                                "the flat rows to OUTPUT.tsv")
     campaign.set_defaults(func=_cmd_campaign)
+
+    fleet_cmd = sub.add_parser(
+        "fleet", help="run a target across a worker fleet and fuse "
+                      "traces + metrics into one dashboard")
+    fleet_cmd.add_argument(
+        "target", help="application name, 'all', or 'campaign'")
+    fleet_cmd.add_argument("--jobs", type=int, default=None,
+                           help="worker processes (default: REPRO_JOBS); "
+                                "must be positive")
+    fleet_cmd.add_argument("--profile", default="quick",
+                           choices=["quick", "paper"])
+    fleet_cmd.add_argument("--backends", nargs="+", default=None,
+                           choices=BACKEND_CHOICES,
+                           help="one lane set per backend (default: "
+                                "REPRO_BACKEND or mpu)")
+    fleet_cmd.add_argument("--buf", type=int, default=None,
+                           help="per-lane ring capacity (default: "
+                                "REPRO_TRACE_BUF)")
+    fleet_cmd.add_argument("--no-trace", action="store_true",
+                           help="metrics roll-up only: drop per-lane "
+                                "event rings from the envelopes")
+    fleet_cmd.add_argument("--output",
+                           help="write the fused Perfetto trace to "
+                                "OUTPUT.json and the dashboard to "
+                                "OUTPUT.txt")
+    fleet_cmd.add_argument("--seed", type=int, default=2026,
+                           help="campaign target: corpus seed")
+    fleet_cmd.add_argument("--firmwares", type=int, default=4,
+                           help="campaign target: corpus size")
+    fleet_cmd.set_defaults(func=_cmd_fleet)
 
     sub.add_parser("attack", help="PinLock case-study demo").set_defaults(
         func=_cmd_attack)

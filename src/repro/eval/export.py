@@ -16,7 +16,14 @@ and figure and writes:
 * ``campaign_smoke.txt`` / ``campaign_smoke.tsv`` — the differential
   security campaign over the committed smoke corpus
   (:data:`repro.campaign.SMOKE_CONFIG`): containment, over-privilege,
-  and switch-cost report plus the flat per-lane rows.
+  and switch-cost report plus the flat per-lane rows;
+* ``fleet_pinlock.json`` / ``fleet_pinlock.txt`` — the fused
+  multi-process fleet trace and dashboard for PinLock across every
+  enforcement backend under two workers
+  (:func:`repro.obs.fleet.run_fleet`).  The sim-domain sections are
+  byte-stable for any worker count or cache temperature; the
+  host-domain sections carry wall clock and are masked by
+  ``tools/check_determinism.py``.
 
 Rows come from :func:`repro.eval.workloads.compute_all_rows`, so
 ``REPRO_JOBS`` > 1 regenerates the applications concurrently while the
@@ -142,6 +149,23 @@ def export_all(output_dir: str) -> list[str]:
     campaign = run_campaign(SMOKE_CONFIG)
     save("campaign_smoke", render_report(campaign),
          report_rows(campaign))
+
+    # Fleet observability export: PinLock lanes across every backend,
+    # fanned out over two workers.  Only the sim sections join the
+    # determinism sweep (the host sections are wall-clock).
+    from ..obs import fleet as fleet_obs
+
+    fleet_result = fleet_obs.run_fleet(
+        "PinLock", jobs=2, backends=("mpu", "pmp", "overlay"))
+    for name, text in [
+        ("fleet_pinlock.json", fleet_obs.fuse_trace(fleet_result)),
+        ("fleet_pinlock.txt",
+         fleet_obs.render_dashboard(fleet_result) + "\n"),
+    ]:
+        path = os.path.join(output_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        written.append(path)
     return written
 
 

@@ -28,6 +28,7 @@ from typing import Optional
 
 from .. import cache
 from ..apps import ACES_APPS, ALL_APPS, Application
+from ..obs import fleet
 from ..apps import coremark, pinlock
 from ..baselines import AcesArtifacts, build_aces
 from ..hw.backend import active_backend
@@ -62,26 +63,6 @@ _opec_cache: dict[tuple[str, str], BuildArtifacts] = {}
 _aces_cache: dict[tuple[str, str, str], AcesArtifacts] = {}
 _run_cache: dict[tuple[str, str, str], RunResult] = {}
 
-#: Process-local interpreter compile-metric totals (counter name →
-#: value), accumulated by every fresh simulation this process drives.
-#: Store/memo hits contribute nothing: the counters describe work this
-#: process actually performed, exactly like the cache counters.
-_compile_totals: dict[str, int] = {}
-
-
-def _merge_compile_metrics(registry) -> None:
-    """Fold one interpreter's (or batch aggregate's) compile-metric
-    counters into the process-local totals."""
-    for name, cell in registry.counters.items():
-        _compile_totals[name] = _compile_totals.get(name, 0) + cell.value
-
-
-def _compile_totals_delta(before: dict[str, int]) -> dict[str, int]:
-    return {name: value - before.get(name, 0)
-            for name, value in _compile_totals.items()
-            if value != before.get(name, 0)}
-
-
 def clear_caches() -> None:
     """Reset every in-process memo the harness (and the analyses
     underneath it) keeps, so tests that mutate modules cannot observe
@@ -95,7 +76,6 @@ def clear_caches() -> None:
     _opec_cache.clear()
     _aces_cache.clear()
     _run_cache.clear()
-    _compile_totals.clear()
     clear_analysis_caches()
     figure11._trace_cache.clear()
 
@@ -192,7 +172,8 @@ def run_build(name: str, kind: str, profile: Optional[str] = None,
     result = run_image(image, setup=app.setup,
                        max_instructions=app.max_instructions,
                        backend=backend)
-    _merge_compile_metrics(result.interpreter.compile_metrics)
+    fleet.record_simulation(result.machine.metrics,
+                            result.interpreter.compile_metrics)
     app.verify_run(result.machine, result.halt_code)
     if store is not None:
         store.put(digest, result)
@@ -262,7 +243,8 @@ def _prefetch_runs(name: str, profile: str, backend: str) -> None:
         staged.append((key, digest, lane))
     if runner is None:
         return
-    _merge_compile_metrics(runner.run().compile_metrics)
+    fleet.record_simulation(
+        compile_metrics=runner.run().compile_metrics)
     for key, digest, lane in staged:
         if lane.error is not None:
             if isinstance(lane.error, LaneFailure):
@@ -273,6 +255,7 @@ def _prefetch_runs(name: str, profile: str, backend: str) -> None:
             machine=lane.machine, interpreter=lane.interpreter,
             hooks=lane.hooks,
         )
+        fleet.record_simulation(result.machine.metrics)
         app.verify_run(result.machine, result.halt_code)
         if store is not None:
             store.put(digest, result)
@@ -300,24 +283,25 @@ def _compute_app_rows(name: str, backend: Optional[str] = None) -> dict:
     return rows
 
 
-def _app_rows_worker(
-        job: tuple[str, str, str]) -> tuple[str, dict, dict, dict]:
+def _app_rows_worker(job: tuple[str, str, str]) -> tuple[str, dict, object]:
     """Process-pool entry point: pin the worker's profile (an ambient
     setting many helpers default from) and compute one app's rows; the
     enforcement backend travels as an explicit parameter, never via
     the environment.  Workers share the parent's on-disk artifact
     store (``REPRO_CACHE`` is inherited), so only the first process to
-    need a build or run pays for it; the returned counter dicts let
-    the parent report aggregate cache traffic and compile activity.
-    Deltas, not totals: with chunked dispatch one worker process
-    computes several apps back to back."""
+    need a build or run pays for it; the returned telemetry envelope
+    carries the capture window's cache traffic, compile activity, and
+    simulated metrics back to the parent.  A capture window, not
+    process totals: with chunked dispatch one worker process computes
+    several apps back to back."""
     name, profile, backend = job
     os.environ["REPRO_PROFILE"] = profile
-    before = cache.counters_snapshot()
-    compile_before = dict(_compile_totals)
-    rows = _compute_app_rows(name, backend=backend)
-    return (name, rows, cache.counters_delta(before),
-            _compile_totals_delta(compile_before))
+    token = fleet.begin_capture()
+    try:
+        rows = _compute_app_rows(name, backend=backend)
+    finally:
+        envelope = fleet.end_capture(token, label=name)
+    return (name, rows, envelope)
 
 
 def compute_all_rows(jobs: Optional[int] = None,
@@ -329,45 +313,59 @@ def compute_all_rows(jobs: Optional[int] = None,
     then merged in fixed ``APP_NAMES`` order, so the result — and
     everything rendered from it — is identical to the serial path.
 
-    The returned mapping carries two extra, non-table keys.
+    The returned mapping carries three extra, non-table keys.
     ``"cache"``: aggregate artifact-cache hit/miss/bytes counters
     summed over this call across every worker process.  ``"compile"``:
     aggregate interpreter compile-metric counters (blocks/traces
     compiled, cache loads, fallback steps, …) summed the same way —
-    previously these died with each worker's interpreters.  Renderers
-    ignore both; they are diagnostic (both depend on cache temperature
-    and are *not* part of the determinism contract).
+    previously these died with each worker's interpreters.
+    ``"telemetry"``: the full per-worker
+    :class:`~repro.obs.fleet.WorkerTelemetry` envelopes (conductor
+    first, then one per application in ``APP_NAMES`` order) the
+    aggregates are summed from.  Renderers ignore all three; they are
+    diagnostic (cache/compile activity depends on cache temperature
+    and is *not* part of the determinism contract).
     """
     from . import figure9, table1
 
     jobs = repro_jobs() if jobs is None else max(1, jobs)
     backend = backend or active_backend()
+    envelopes: list[fleet.WorkerTelemetry] = []
+    outer = fleet.begin_capture()
+    try:
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            profile = active_profile()
+            per_app: dict[str, dict] = {}
+            workers = min(jobs, len(APP_NAMES))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for name, rows, envelope in pool.map(
+                        _app_rows_worker,
+                        [(name, profile, backend) for name in APP_NAMES],
+                        chunksize=-(-len(APP_NAMES) // workers)):
+                    per_app[name] = rows
+                    envelopes.append(envelope)
+        else:
+            per_app = {}
+            for name in APP_NAMES:
+                token = fleet.begin_capture()
+                try:
+                    per_app[name] = _compute_app_rows(name,
+                                                      backend=backend)
+                finally:
+                    envelopes.append(fleet.end_capture(token, label=name))
+    finally:
+        conductor = fleet.end_capture(outer, label="conductor")
+    for index, envelope in enumerate(envelopes):
+        envelope.worker = index + 1
+    telemetry = [conductor, *envelopes]
     counters = cache.CacheCounters()
     compile_totals: dict[str, int] = {}
-    before = cache.counters_snapshot()
-    compile_before = dict(_compile_totals)
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        profile = active_profile()
-        per_app: dict[str, dict] = {}
-        workers = min(jobs, len(APP_NAMES))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for name, rows, worker_counters, worker_compile in pool.map(
-                    _app_rows_worker,
-                    [(name, profile, backend) for name in APP_NAMES],
-                    chunksize=-(-len(APP_NAMES) // workers)):
-                per_app[name] = rows
-                counters.merge(worker_counters)
-                for metric, value in worker_compile.items():
-                    compile_totals[metric] = \
-                        compile_totals.get(metric, 0) + value
-    else:
-        per_app = {name: _compute_app_rows(name, backend=backend)
-                   for name in APP_NAMES}
-    counters.merge(cache.counters_delta(before))
-    for metric, value in _compile_totals_delta(compile_before).items():
-        compile_totals[metric] = compile_totals.get(metric, 0) + value
+    for envelope in telemetry:
+        counters.merge(envelope.cache_counters)
+        for metric, value in envelope.compile_counters.items():
+            compile_totals[metric] = compile_totals.get(metric, 0) + value
     return {
         "table1": table1.finalize_rows(
             [per_app[name]["table1"] for name in APP_NAMES]),
@@ -381,4 +379,5 @@ def compute_all_rows(jobs: Optional[int] = None,
         "cache": counters.as_dict(),
         "compile": {metric: compile_totals[metric]
                     for metric in sorted(compile_totals)},
+        "telemetry": telemetry,
     }

@@ -82,6 +82,26 @@ CACHE_HIT = "cache.hit"
 CACHE_MISS = "cache.miss"
 CACHE_STORE = "cache.store"
 
+# -- fleet host-side event kinds (wall-clock microsecond spans) ----------
+#
+# Unlike the seq-stamped host kinds above, ``fleet.*`` spans carry real
+# wall-clock timestamps (epoch microseconds, normalised to the earliest
+# span at fusion time): they exist precisely to show scheduling and
+# idle gaps, which sequence numbers cannot.  They never enter the
+# deterministic exports — the fleet fuser keeps them on host-domain
+# pids that the determinism masking drops.
+
+#: One worker process's whole assigned slice of fleet lanes.
+FLEET_CHUNK = "fleet.chunk"
+#: Image acquisition for one lane (cache lookup + build on miss).
+FLEET_BUILD = "fleet.build"
+#: One lane's fresh simulation under its dedicated recorder.
+FLEET_RUN = "fleet.run"
+#: Parent-side pool dispatch of one worker (submit → result).
+FLEET_DISPATCH = "fleet.dispatch"
+#: Campaign: one firmware's full differential evaluation.
+FLEET_FIRMWARE = "fleet.firmware"
+
 
 class Event:
     """One recorded event.

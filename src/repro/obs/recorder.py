@@ -61,20 +61,31 @@ def trace_enabled() -> bool:
         f"{', '.join(sorted(TRACE_ON_VALUES | (TRACE_OFF_VALUES - {''})))}")
 
 
+def validate_capacity(value, source: str = "REPRO_TRACE_BUF") -> int:
+    """Parse a ring capacity, failing loudly on non-positive values.
+
+    Shared by the environment knob, ``repro trace --buf``, and the
+    ``repro fleet`` knobs so every entry point rejects a bad capacity
+    with the same wording instead of silently truncating (or crashing
+    deep inside the deque constructor).
+    """
+    try:
+        capacity = int(value)
+    except (TypeError, ValueError):
+        capacity = 0
+    if capacity <= 0:
+        raise ValueError(
+            f"invalid ring capacity {value!r} ({source}): "
+            "expected a positive integer")
+    return capacity
+
+
 def trace_capacity() -> int:
     """The configured ring capacity (``REPRO_TRACE_BUF``)."""
     raw = os.environ.get("REPRO_TRACE_BUF", "").strip()
     if not raw:
         return DEFAULT_CAPACITY
-    try:
-        capacity = int(raw)
-    except ValueError:
-        capacity = 0
-    if capacity <= 0:
-        raise ValueError(
-            f"invalid ring capacity {raw!r} (REPRO_TRACE_BUF): "
-            "expected a positive integer")
-    return capacity
+    return validate_capacity(raw, "REPRO_TRACE_BUF")
 
 
 class FlightRecorder:
@@ -219,5 +230,5 @@ __all__ = [
     "DEFAULT_CAPACITY", "DOMAIN_HOST", "DOMAIN_SIM", "FlightRecorder",
     "TRACE_OFF_VALUES", "TRACE_ON_VALUES", "active_recorder",
     "attach_crash_context", "install", "reset_active", "trace_capacity",
-    "trace_enabled",
+    "trace_enabled", "validate_capacity",
 ]

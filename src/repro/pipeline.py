@@ -105,7 +105,10 @@ def build_opec(
         result = thunk()
         stage_times[stage] = time.perf_counter() - start
         if recorder is not None:
-            recorder.end(BUILD_STAGE, stage, None, DOMAIN_HOST)
+            # Host-side wall clock: diagnostic only, never part of a
+            # deterministic export (sim-domain exports drop host events).
+            recorder.end(BUILD_STAGE, stage, None, DOMAIN_HOST,
+                         args={"wall_us": int(stage_times[stage] * 1e6)})
         return result
 
     if verify:
@@ -150,12 +153,15 @@ def build_vanilla(module: Module, board: Board, *,
     if recorder is not None:
         recorder.begin(BUILD_STAGE, "vanilla", None, DOMAIN_HOST,
                        args={"flavour": "vanilla", "module": module.name})
+    stage_start = time.perf_counter()
     if verify:
         verify_module(module)
     image = build_vanilla_image(module, board,
                                 stack_size=stack_size, heap_size=heap_size)
     if recorder is not None:
-        recorder.end(BUILD_STAGE, "vanilla", None, DOMAIN_HOST)
+        recorder.end(BUILD_STAGE, "vanilla", None, DOMAIN_HOST,
+                     args={"wall_us": int(
+                         (time.perf_counter() - stage_start) * 1e6)})
     if store is not None:
         store.put(digest, image)
     return image

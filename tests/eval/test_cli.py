@@ -85,6 +85,47 @@ def test_campaign_command(capsys, tmp_path):
     assert any(line.startswith("cell\t") for line in rows)
 
 
+def test_campaign_prints_telemetry_footer(capsys, monkeypatch):
+    """The campaign command surfaces the aggregated compile/cache
+    telemetry below the report — stdout only, so the report files on
+    disk stay byte-identical to the pre-telemetry format."""
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.setenv("REPRO_BLOCKCOMPILE", "on")
+    assert main(["campaign", "--seed", "11", "--firmwares", "1",
+                 "--attacks", "global", "--backends", "mpu",
+                 "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "worker telemetry" in out
+    assert "blockcompile." in out
+
+
+def test_trace_buf_rejected_loudly():
+    with pytest.raises(ValueError, match="invalid ring capacity"):
+        main(["trace", "PinLock", "--buf", "0"])
+    with pytest.raises(ValueError, match="--buf"):
+        main(["trace", "PinLock", "--buf", "-8"])
+
+
+def test_fleet_command(capsys, tmp_path):
+    base = tmp_path / "fleet"
+    assert main(["fleet", "PinLock", "--jobs", "1", "--backends", "mpu",
+                 "--output", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "PinLock:opec:mpu" in out
+    assert "host domain" in out
+    trace = (tmp_path / "fleet.json").read_text()
+    assert trace.startswith("{")
+    dashboard = (tmp_path / "fleet.txt").read_text()
+    assert "worker1" in dashboard
+
+
+def test_fleet_knobs_rejected_loudly():
+    with pytest.raises(ValueError, match="invalid worker count"):
+        main(["fleet", "PinLock", "--jobs", "0"])
+    with pytest.raises(ValueError, match="invalid ring capacity"):
+        main(["fleet", "PinLock", "--jobs", "1", "--buf", "-5"])
+
+
 def test_eval_table3(capsys):
     assert main(["eval", "table3"]) == 0
     out = capsys.readouterr().out

@@ -83,9 +83,16 @@ def test_repro_jobs_env(monkeypatch):
 def test_compute_all_rows_sections_and_order():
     rows = workloads.compute_all_rows(jobs=1)
     assert set(rows) == {"table1", "figure9", "table2", "figure10",
-                         "figure11", "table3", "cache", "compile"}
+                         "figure11", "table3", "cache", "compile",
+                         "telemetry"}
     assert set(rows["cache"]) == {"hits", "misses", "stores", "corrupt",
                                   "bytes_read", "bytes_written"}
+    # Envelope protocol: conductor first, then one per app in order.
+    envelopes = rows["telemetry"]
+    assert [env.label for env in envelopes] == \
+        ["conductor", *workloads.APP_NAMES]
+    assert [env.worker for env in envelopes] == \
+        list(range(len(workloads.APP_NAMES) + 1))
     assert [r.app for r in rows["table1"]] == \
         [*workloads.APP_NAMES, "Average"]
     assert [r.app for r in rows["table3"]] == list(workloads.APP_NAMES)
@@ -117,11 +124,11 @@ def test_compute_all_rows_parallel_merge_identical():
     dataclasses compare by value, floats included)."""
     serial = workloads.compute_all_rows(jobs=1)
     parallel = workloads.compute_all_rows(jobs=2)
-    # Cache traffic and compile activity legitimately differ between
-    # the two paths (the serial pass warms the in-process memos the
-    # parallel workers cannot see); every *table* must merge
-    # identically.
-    for diagnostic in ("cache", "compile"):
+    # Cache traffic, compile activity, and the telemetry envelopes
+    # legitimately differ between the two paths (the serial pass warms
+    # the in-process memos the parallel workers cannot see); every
+    # *table* must merge identically.
+    for diagnostic in ("cache", "compile", "telemetry"):
         serial.pop(diagnostic)
         parallel.pop(diagnostic)
     assert serial == parallel

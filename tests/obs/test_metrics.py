@@ -71,6 +71,66 @@ class TestRegistry:
         assert "monitor.switch_cycles" in text
 
 
+class TestRegistryMerge:
+    """The roll-up path worker telemetry envelopes travel through."""
+
+    @staticmethod
+    def _registry(counters: dict, observations: dict) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).value = value
+        for name, values in observations.items():
+            for value in values:
+                registry.histogram(name).observe(value)
+        return registry
+
+    def test_merge_disjoint_histogram_keys(self):
+        left = self._registry({}, {"a": [10, 20]})
+        right = self._registry({}, {"b": [7]})
+        left.merge(right)
+        assert set(left.histograms) == {"a", "b"}
+        assert left.histograms["a"].count == 2
+        assert left.histograms["b"].count == 1
+        assert left.histograms["b"].min == 7
+        assert left.histograms["b"].max == 7
+
+    def test_three_way_merge_is_order_independent(self):
+        def parts():
+            return [
+                self._registry({"c": 1, "x": 5}, {"h": [3, 100]}),
+                self._registry({"c": 2}, {"h": [0], "other": [9]}),
+                self._registry({"x": 7}, {"other": [1 << 20]}),
+            ]
+
+        import itertools
+
+        snapshots = []
+        for order in itertools.permutations(range(3)):
+            registries = parts()
+            merged = MetricsRegistry()
+            for index in order:
+                merged.merge(registries[index])
+            snapshots.append(merged.snapshot())
+        assert all(snap == snapshots[0] for snap in snapshots[1:])
+        assert snapshots[0]["counters"] == {"c": 3, "x": 12}
+        assert snapshots[0]["histograms"]["h"]["min"] == 0
+        assert snapshots[0]["histograms"]["h"]["max"] == 100
+
+    def test_merge_after_pickle_round_trip(self):
+        """The exact path worker envelopes take: registries pickled in
+        the worker, unpickled and merged in the parent."""
+        source = self._registry({"c": 4}, {"h": [2, 8, 32]})
+        clone = pickle.loads(pickle.dumps(source))
+        merged = MetricsRegistry()
+        merged.merge(clone)
+        merged.merge(source)
+        assert merged.snapshot()["counters"] == {"c": 8}
+        hist = merged.snapshot()["histograms"]["h"]
+        assert hist["count"] == 6
+        assert hist["total"] == 84
+        assert clone.snapshot() == source.snapshot()
+
+
 class TestMachineStatsShim:
     """The dataclass-era interface must keep working over the registry."""
 

@@ -43,6 +43,7 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
 # Host-wall-clock column index, by filename, dropped before comparing.
 MASKED_COLUMNS = {"table3.tsv": 3, "table3.txt": 3}
@@ -53,6 +54,18 @@ MASKED_BENCH_KEYS = {"solve_wall_s", "stages_wall_ms", "harness",
 
 
 def normalise(path: Path) -> list[tuple[str, ...]]:
+    if path.name == "fleet_pinlock.json":
+        # Fused fleet trace: host-domain pids carry wall clock, so
+        # only the sim-domain section is part of the contract.
+        from repro.obs.fleet import sim_trace_section
+
+        return [(sim_trace_section(path.read_text()),)]
+    if path.name == "fleet_pinlock.txt":
+        # Fleet dashboard: compare everything above the host marker.
+        from repro.obs.fleet import sim_dashboard_section
+
+        return [tuple(line.split()) for line in
+                sim_dashboard_section(path.read_text()).splitlines()]
     if path.suffix == ".json":
         # Trace exports are canonical JSON: compare raw bytes, no
         # whitespace-tolerant splitting.
@@ -132,6 +145,44 @@ def check_export(committed: Path, env: dict, label: str,
     return len(names)
 
 
+def check_fleet(env: dict, failures: list[str]) -> None:
+    """``repro fleet`` worker-count parity: the fused trace's
+    sim-domain section and the dashboard above the host marker must be
+    byte-identical between ``--jobs 1`` and ``--jobs 2``, and the
+    two-worker trace must actually contain at least two worker pids."""
+    from repro.obs.fleet import sim_dashboard_section, sim_trace_section
+
+    sections: dict[int, tuple[str, str]] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+        for jobs in (1, 2):
+            base = Path(tmp) / f"fleet_j{jobs}"
+            subprocess.run(
+                [sys.executable, "-m", "repro.cli", "fleet", "PinLock",
+                 "--jobs", str(jobs), "--backends", "mpu", "pmp",
+                 "overlay", "--output", str(base)],
+                cwd=REPO, env=env, check=True, stdout=subprocess.DEVNULL,
+            )
+            trace_text = base.with_suffix(".json").read_text()
+            sections[jobs] = (
+                sim_trace_section(trace_text),
+                sim_dashboard_section(base.with_suffix(".txt").read_text()),
+            )
+            if jobs == 2:
+                document = json.loads(trace_text)
+                worker_pids = {entry.get("pid")
+                               for entry in document["traceEvents"]} - {0, 1}
+                if len(worker_pids) < 2:
+                    failures.append(
+                        f"[fleet] jobs=2 trace has worker pids "
+                        f"{sorted(worker_pids)}: expected at least 2")
+    if sections[1][0] != sections[2][0]:
+        failures.append(
+            "[fleet] sim trace section diverged between --jobs 1 and 2")
+    if sections[1][1] != sections[2][1]:
+        failures.append(
+            "[fleet] sim dashboard diverged between --jobs 1 and 2")
+
+
 def main() -> int:
     committed = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "results"
     env = dict(os.environ)
@@ -163,6 +214,9 @@ def main() -> int:
         env["REPRO_TRACEFUSE"] = "off"
         check_export(committed, env, "tracefuse-off", failures)
         del env["REPRO_TRACEFUSE"]
+        # Pass 6: fleet worker-count parity, against the warm store.
+        env["REPRO_CACHE"] = cache_dir
+        check_fleet(env, failures)
     check_bench_analysis(env, failures)
     if failures:
         print("DETERMINISM CHECK FAILED")
@@ -171,8 +225,10 @@ def main() -> int:
     print(f"determinism check passed: {count} files bit-identical across "
           f"cold-cache, warm-cache ({entries} entries), cache-off, "
           "blockcompile-off and tracefuse-off exports (table3 host "
-          "wall-clock column masked) and BENCH_analysis.json derived "
-          "fields unchanged (host timings masked)")
+          "wall-clock column and fleet host sections masked), fleet "
+          "sim domain byte-identical across --jobs 1/2, and "
+          "BENCH_analysis.json derived fields unchanged (host timings "
+          "masked)")
     return 0
 
 
